@@ -1,0 +1,105 @@
+// Command vodbench runs the reproduction experiment suite: every table and
+// figure in the experiment index (DESIGN.md §5) can be regenerated from
+// here. Results print as aligned text tables; use -format to get Markdown
+// or CSV for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	vodbench                 # run everything, quick sizes
+//	vodbench -full           # full-size run (minutes)
+//	vodbench -run E1,E5      # selected experiments
+//	vodbench -list           # list experiment IDs and claims
+//	vodbench -format md      # markdown output
+//	vodbench -plot           # add ASCII plots of figure series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		runIDs  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		full    = flag.Bool("full", false, "full-size runs (default: quick)")
+		seed    = flag.Uint64("seed", 42, "master random seed")
+		workers = flag.Int("workers", 0, "Monte-Carlo workers (0 = GOMAXPROCS)")
+		format  = flag.String("format", "text", "output format: text, md, csv")
+		plot    = flag.Bool("plot", false, "render ASCII plots for figures (text format only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-20s %s\n", e.ID, e.Name, e.Claim)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: !*full, Workers: *workers}
+	var selected []experiments.Experiment
+	if *runIDs == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := experiments.Get(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		res := e.Run(opts)
+		switch *format {
+		case "text":
+			fmt.Println(res.Text())
+			if *plot {
+				for _, f := range res.Figures {
+					fmt.Println(f.ASCIIPlot(72, 18))
+				}
+			}
+		case "md":
+			fmt.Printf("## %s — %s\n\n> %s\n\n", res.ID, res.Name, res.Claim)
+			for _, t := range res.Tables {
+				if err := t.WriteMarkdown(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			}
+			for _, f := range res.Figures {
+				if err := f.Table().WriteMarkdown(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			}
+		case "csv":
+			for _, t := range res.Tables {
+				if err := t.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			}
+			for _, f := range res.Figures {
+				if err := f.Table().WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+			os.Exit(1)
+		}
+	}
+}

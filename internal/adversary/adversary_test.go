@@ -1,0 +1,285 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/allocation"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+func buildSystem(t *testing.T, seed uint64, n, d, c, T, k int, u, mu float64) *core.System {
+	t.Helper()
+	alloc, _, err := allocation.HomogeneousPermutation(stats.NewRNG(seed), n, d, c, T, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]float64, n)
+	for i := range uploads {
+		uploads[i] = u
+	}
+	sys, err := core.NewSystem(core.Config{
+		Alloc: alloc, Uploads: uploads, Mu: mu, Paranoid: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFlashCrowdRespectsGrowthBound(t *testing.T) {
+	sys := buildSystem(t, 1, 30, 2, 4, 20, 4, 2.5, 1.5)
+	gen := &FlashCrowd{Target: 0}
+	rep, err := sys.Run(gen, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RejectedSwarm != 0 {
+		t.Errorf("flash crowd overflowed the allowance %d times", rep.RejectedSwarm)
+	}
+	if rep.MaxSwarm < 10 {
+		t.Errorf("crowd never grew: max swarm %d", rep.MaxSwarm)
+	}
+}
+
+func TestFlashCrowdRotation(t *testing.T) {
+	sys := buildSystem(t, 2, 12, 2, 4, 6, 4, 2.5, 4)
+	gen := &FlashCrowd{Target: 0, Rotate: true}
+	rep, err := sys.Run(gen, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("rotation run failed: %+v", rep.Obstructions)
+	}
+	if gen.Target == 0 {
+		t.Error("target never rotated over 60 rounds of short videos")
+	}
+}
+
+func TestAvoidPossessionPicksUnstoredVideos(t *testing.T) {
+	sys := buildSystem(t, 3, 12, 1, 4, 10, 1, 2.5, 2) // m = 12, each box stores ≤ 4 stripes
+	gen := AvoidPossession{}
+	v := sys.View()
+	demands := gen.Next(v, 0)
+	if len(demands) == 0 {
+		t.Fatal("no demands produced")
+	}
+	cat := v.Catalog()
+	for _, d := range demands {
+		for i := 0; i < cat.C; i++ {
+			if v.Stores(d.Box, cat.Stripe(d.Video, i)) {
+				t.Fatalf("box %d demanded stored video %d", d.Box, d.Video)
+			}
+		}
+	}
+}
+
+func TestDistinctVideosSpreads(t *testing.T) {
+	sys := buildSystem(t, 4, 12, 2, 4, 10, 4, 2.5, 2)
+	gen := DistinctVideos{}
+	demands := gen.Next(sys.View(), 0)
+	seen := map[video.ID]int{}
+	for _, d := range demands {
+		seen[d.Video]++
+	}
+	// Every demanded video should appear at most ⌈n/m⌉ = 2 times.
+	for vid, count := range seen {
+		if count > 2 {
+			t.Errorf("video %d demanded %d times", vid, count)
+		}
+	}
+	if len(seen) < 6 {
+		t.Errorf("only %d distinct videos demanded", len(seen))
+	}
+}
+
+func TestWeakestVideosRanksByCapacity(t *testing.T) {
+	sys := buildSystem(t, 5, 20, 2, 4, 10, 4, 2.5, 2)
+	gen := &WeakestVideos{}
+	demands := gen.Next(sys.View(), 0)
+	if len(demands) == 0 {
+		t.Fatal("no demands")
+	}
+	if gen.ranked == nil || len(gen.ranked) != sys.Catalog().M {
+		t.Fatalf("ranking missing: %v", gen.ranked)
+	}
+	// First demand must target the weakest-ranked video.
+	if demands[0].Video != gen.ranked[0] {
+		t.Errorf("first demand targets %d, want weakest %d", demands[0].Video, gen.ranked[0])
+	}
+}
+
+func TestZipfGeneratesValidDemands(t *testing.T) {
+	sys := buildSystem(t, 6, 20, 2, 4, 15, 4, 2.5, 1.5)
+	gen := &Zipf{RNG: stats.NewRNG(9), P: 0.5, S: 1.0}
+	rep, err := sys.Run(gen, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("zipf workload failed: %+v", rep.Obstructions)
+	}
+	if rep.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if rep.RejectedSwarm != 0 {
+		t.Errorf("generator ignored allowances %d times", rep.RejectedSwarm)
+	}
+}
+
+func TestPoissonGeneratesBoundedDemands(t *testing.T) {
+	sys := buildSystem(t, 7, 20, 2, 4, 15, 4, 2.5, 1.5)
+	gen := &Poisson{RNG: stats.NewRNG(11), Lambda: 3}
+	rep, err := sys.Run(gen, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if rep.RejectedBusy != 0 {
+		t.Errorf("poisson generator targeted busy boxes %d times", rep.RejectedBusy)
+	}
+}
+
+func TestChurnWaves(t *testing.T) {
+	sys := buildSystem(t, 8, 24, 2, 4, 12, 4, 2.5, 2)
+	gen := &Churn{Period: 3, WaveSize: 2}
+	rep, err := sys.Run(gen, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("churn failed: %+v", rep.Obstructions)
+	}
+	if rep.Admitted < 10 {
+		t.Errorf("churn admitted only %d", rep.Admitted)
+	}
+	// Zero-period churn is inert.
+	inert := &Churn{}
+	if got := inert.Next(sys.View(), 0); got != nil {
+		t.Error("zero-period churn emitted demands")
+	}
+}
+
+func TestPoorFirstOrdersByUpload(t *testing.T) {
+	// Heterogeneous system: poor boxes (u=0.5) must appear before rich
+	// ones in the demand batch.
+	n := 12
+	alloc, _, err := allocation.HomogeneousPermutation(stats.NewRNG(13), n, 2, 4, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]float64, n)
+	for i := range uploads {
+		if i%3 == 0 {
+			uploads[i] = 0.5
+		} else {
+			uploads[i] = 3.0
+		}
+	}
+	sys, err := core.NewSystem(core.Config{Alloc: alloc, Uploads: uploads, Mu: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &PoorFirst{UStar: 1.5}
+	demands := gen.Next(sys.View(), 1)
+	if len(demands) == 0 {
+		t.Fatal("no demands")
+	}
+	seenRich := false
+	for _, d := range demands {
+		if uploads[d.Box] >= 1.5 {
+			seenRich = true
+		} else if seenRich {
+			t.Fatalf("poor box %d demanded after a rich box", d.Box)
+		}
+	}
+	// Every demanded video must respect the batch allowance.
+	counts := map[video.ID]int{}
+	for _, d := range demands {
+		counts[d.Video]++
+	}
+	for vid, c := range counts {
+		if c > 8 { // ⌈1·µ⌉ = 8 for an empty swarm
+			t.Errorf("video %d over-demanded: %d", vid, c)
+		}
+	}
+}
+
+// onceGen emits one demand at round 0 and nothing after.
+type onceGen struct {
+	d    core.Demand
+	done bool
+}
+
+func (g *onceGen) Next(_ *core.View, round int) []core.Demand {
+	if g.done {
+		return nil
+	}
+	g.done = true
+	return []core.Demand{g.d}
+}
+
+func TestRetryResubmitsWithBorn(t *testing.T) {
+	// Fill video 0's swarm allowance so the wrapped demand is rejected at
+	// round 0, then admitted later with Born preserved.
+	sys := buildSystem(t, 9, 12, 2, 4, 10, 4, 2.5, 1.0) // µ=1: swarm of size 1 max
+	seed := &onceGen{d: core.Demand{Box: 1, Video: 0}}
+	retry := &Retry{Inner: seed}
+
+	// Round 0: box 0 takes the only slot in video 0's swarm directly.
+	first := &onceGen{d: core.Demand{Box: 0, Video: 0}}
+	both := multiGen{first, retry}
+	rep, err := sys.Run(both, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("run failed: %+v", rep.Obstructions)
+	}
+	// Both viewings must eventually complete; box 1 waited for the swarm
+	// slot, so its startup delay exceeds the intrinsic 3.
+	if rep.CompletedViewings != 2 {
+		t.Fatalf("completed = %d, want 2", rep.CompletedViewings)
+	}
+	if rep.StartupDelay.Max <= 3 {
+		t.Errorf("retry did not preserve Born: max delay %v", rep.StartupDelay.Max)
+	}
+}
+
+// multiGen concatenates generators.
+type multiGen []core.Generator
+
+func (g multiGen) Next(v *core.View, round int) []core.Demand {
+	var out []core.Demand
+	for _, inner := range g {
+		out = append(out, inner.Next(v, round)...)
+	}
+	return out
+}
+
+func TestAdversarySuiteAgainstSafeSystem(t *testing.T) {
+	// With comfortable parameters every adversary should fail to break
+	// the allocation (Theorem 1 regime, well above thresholds).
+	gens := map[string]func() core.Generator{
+		"flash":    func() core.Generator { return &FlashCrowd{Target: 0, Rotate: true} },
+		"distinct": func() core.Generator { return DistinctVideos{} },
+		"weakest":  func() core.Generator { return &WeakestVideos{} },
+		"churn":    func() core.Generator { return &Churn{Period: 2, WaveSize: 4} },
+		"zipf":     func() core.Generator { return &Zipf{RNG: stats.NewRNG(31), P: 0.4, S: 0.8} },
+	}
+	for name, mk := range gens {
+		sys := buildSystem(t, 10, 36, 2, 6, 18, 6, 3.0, 1.3)
+		rep, err := sys.Run(mk(), 80)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Failed {
+			t.Errorf("%s broke a comfortably-provisioned system at round %d: %+v",
+				name, rep.FailRound, rep.Obstructions)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package allocation implements the paper's random video allocation
+// schemes (Section 2.1): each of the m·c stripes is replicated k times
+// onto boxes, either through a uniformly random permutation of the d·n·c
+// replica slots (exactly balanced: every box stores exactly its d·c
+// replicas) or through independent draws proportional to storage capacity
+// (simpler but load-unbalanced; the paper requires c = Ω(log n) for it).
+package allocation
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+// Allocation records which boxes statically store which stripe replicas.
+type Allocation struct {
+	cat video.Catalog
+	// ByStripe[s] lists the boxes storing a replica of stripe s. A box may
+	// appear more than once only in independent allocations.
+	ByStripe [][]int32
+	// ByBox[b] lists the stripes stored by box b.
+	ByBox [][]video.StripeID
+	// Overflow counts independent-allocation replicas that fell into an
+	// already-full box (and were therefore dropped, per the paper's note
+	// that the process stops on a full box). Always 0 for permutations.
+	Overflow int
+}
+
+// Catalog returns the catalog this allocation stores.
+func (a *Allocation) Catalog() video.Catalog { return a.cat }
+
+// NumBoxes returns the number of boxes.
+func (a *Allocation) NumBoxes() int { return len(a.ByBox) }
+
+// Replicas returns the number of stored replicas of stripe s.
+func (a *Allocation) Replicas(s video.StripeID) int { return len(a.ByStripe[s]) }
+
+// Stores reports whether box b stores stripe s.
+func (a *Allocation) Stores(b int, s video.StripeID) bool {
+	for _, bb := range a.ByStripe[s] {
+		if int(bb) == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Permutation builds a random permutation allocation: k replicas per
+// stripe, slotsPerBox[b] replica slots on box b, with
+// Σ slotsPerBox == k · m · c. Every slot is filled, so box loads are exact.
+func Permutation(rng *stats.RNG, cat video.Catalog, slotsPerBox []int, k int) (*Allocation, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("allocation: k=%d must be >= 1", k)
+	}
+	totalSlots := 0
+	for b, s := range slotsPerBox {
+		if s < 0 {
+			return nil, fmt.Errorf("allocation: box %d has negative slots", b)
+		}
+		totalSlots += s
+	}
+	replicas := k * cat.NumStripes()
+	if totalSlots != replicas {
+		return nil, fmt.Errorf("allocation: %d slots != k·m·c = %d replicas (k=%d, m=%d, c=%d)",
+			totalSlots, replicas, k, cat.M, cat.C)
+	}
+	// Slot i belongs to the box whose cumulative slot range contains i;
+	// replica j (of stripe j/k) lands in slot perm[j].
+	slotOwner := make([]int32, totalSlots)
+	pos := 0
+	for b, s := range slotsPerBox {
+		for i := 0; i < s; i++ {
+			slotOwner[pos] = int32(b)
+			pos++
+		}
+	}
+	perm := rng.Perm(totalSlots)
+	a := &Allocation{
+		cat:      cat,
+		ByStripe: make([][]int32, cat.NumStripes()),
+		ByBox:    make([][]video.StripeID, len(slotsPerBox)),
+	}
+	for j := 0; j < replicas; j++ {
+		s := video.StripeID(j / k)
+		b := slotOwner[perm[j]]
+		a.ByStripe[s] = append(a.ByStripe[s], b)
+		a.ByBox[b] = append(a.ByBox[b], s)
+	}
+	return a, nil
+}
+
+// HomogeneousPermutation is the common case: n boxes with d videos of
+// storage each (d·c replica slots), catalog size m = d·n/k. It derives m
+// from (n, d, k) and returns the allocation together with its catalog.
+func HomogeneousPermutation(rng *stats.RNG, n, d, c, t, k int) (*Allocation, video.Catalog, error) {
+	if k < 1 || (d*n)%k != 0 {
+		return nil, video.Catalog{}, fmt.Errorf("allocation: d·n=%d not divisible by k=%d", d*n, k)
+	}
+	m := d * n / k
+	cat, err := video.NewCatalog(m, c, t)
+	if err != nil {
+		return nil, video.Catalog{}, err
+	}
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = d * c
+	}
+	a, err := Permutation(rng, cat, slots, k)
+	return a, cat, err
+}
+
+// Independent builds a random independent allocation: each of the k
+// replicas of each stripe picks a box with probability proportional to
+// that box's slot capacity. Replicas landing on a box that is already full
+// are dropped and counted in Overflow — the failure mode the paper's
+// c = Ω(log n) requirement controls (experiment E8).
+func Independent(rng *stats.RNG, cat video.Catalog, slotsPerBox []int, k int) (*Allocation, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("allocation: k=%d must be >= 1", k)
+	}
+	n := len(slotsPerBox)
+	weights := make([]float64, n)
+	total := 0
+	for b, s := range slotsPerBox {
+		if s < 0 {
+			return nil, fmt.Errorf("allocation: box %d has negative slots", b)
+		}
+		weights[b] = float64(s)
+		total += s
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("allocation: no storage slots at all")
+	}
+	a := &Allocation{
+		cat:      cat,
+		ByStripe: make([][]int32, cat.NumStripes()),
+		ByBox:    make([][]video.StripeID, n),
+	}
+	used := make([]int, n)
+	for s := 0; s < cat.NumStripes(); s++ {
+		for r := 0; r < k; r++ {
+			b := rng.WeightedChoice(weights)
+			if used[b] >= slotsPerBox[b] {
+				a.Overflow++
+				continue
+			}
+			used[b]++
+			a.ByStripe[s] = append(a.ByStripe[s], int32(b))
+			a.ByBox[b] = append(a.ByBox[b], video.StripeID(s))
+		}
+	}
+	return a, nil
+}
+
+// FullReplication builds the sourcing-only baseline in the spirit of
+// Push-to-Peer (Suh et al.): the catalog is small enough that every box
+// stores a slice of every video; here, at stripe granularity, the replicas
+// of every stripe are spread round-robin over all boxes. It requires
+// m·c·k ≤ Σ slots like any allocation, and represents the "each box stores
+// a constant portion of each video" regime (m = O(d/ℓ)).
+func FullReplication(cat video.Catalog, slotsPerBox []int, k int) (*Allocation, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("allocation: k=%d must be >= 1", k)
+	}
+	n := len(slotsPerBox)
+	a := &Allocation{
+		cat:      cat,
+		ByStripe: make([][]int32, cat.NumStripes()),
+		ByBox:    make([][]video.StripeID, n),
+	}
+	used := make([]int, n)
+	next := 0
+	for s := 0; s < cat.NumStripes(); s++ {
+		for r := 0; r < k; r++ {
+			placed := false
+			for tries := 0; tries < n; tries++ {
+				b := next % n
+				next++
+				if used[b] < slotsPerBox[b] {
+					used[b]++
+					a.ByStripe[s] = append(a.ByStripe[s], int32(b))
+					a.ByBox[b] = append(a.ByBox[b], video.StripeID(s))
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("allocation: storage exhausted at stripe %d replica %d", s, r)
+			}
+		}
+	}
+	return a, nil
+}
+
+// LoadStats summarizes per-box replica loads and per-stripe replica counts.
+type LoadStats struct {
+	BoxLoad    stats.Summary // replicas stored per box
+	StripeLoad stats.Summary // replicas stored per stripe
+	MaxBoxLoad int
+	MinStripes int // minimum replica count over stripes (0 = a stripe vanished)
+	Overflow   int
+}
+
+// Stats computes load statistics for the allocation.
+func (a *Allocation) Stats() LoadStats {
+	boxLoads := make([]float64, len(a.ByBox))
+	maxLoad := 0
+	for b := range a.ByBox {
+		l := len(a.ByBox[b])
+		boxLoads[b] = float64(l)
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	stripeLoads := make([]float64, len(a.ByStripe))
+	minStripes := -1
+	for s := range a.ByStripe {
+		l := len(a.ByStripe[s])
+		stripeLoads[s] = float64(l)
+		if minStripes < 0 || l < minStripes {
+			minStripes = l
+		}
+	}
+	return LoadStats{
+		BoxLoad:    stats.Summarize(boxLoads),
+		StripeLoad: stats.Summarize(stripeLoads),
+		MaxBoxLoad: maxLoad,
+		MinStripes: minStripes,
+		Overflow:   a.Overflow,
+	}
+}

@@ -1,0 +1,298 @@
+package allocation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+func TestHomogeneousPermutationExactBalance(t *testing.T) {
+	rng := stats.NewRNG(1)
+	const n, d, c, T, k = 20, 4, 3, 50, 5
+	a, cat, err := HomogeneousPermutation(rng, n, d, c, T, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.M != d*n/k {
+		t.Fatalf("catalog m = %d, want %d", cat.M, d*n/k)
+	}
+	// Every box stores exactly d*c replicas.
+	for b := range a.ByBox {
+		if len(a.ByBox[b]) != d*c {
+			t.Errorf("box %d stores %d replicas, want %d", b, len(a.ByBox[b]), d*c)
+		}
+	}
+	// Every stripe has exactly k replicas.
+	for s := range a.ByStripe {
+		if len(a.ByStripe[s]) != k {
+			t.Errorf("stripe %d has %d replicas, want %d", s, len(a.ByStripe[s]), k)
+		}
+	}
+	if a.Overflow != 0 {
+		t.Errorf("permutation overflow = %d", a.Overflow)
+	}
+}
+
+func TestPermutationDivisibilityError(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, _, err := HomogeneousPermutation(rng, 10, 3, 2, 50, 7); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+}
+
+func TestPermutationSlotMismatch(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cat := video.MustCatalog(4, 2, 10)
+	if _, err := Permutation(rng, cat, []int{3, 3}, 1); err == nil {
+		t.Fatal("expected slot mismatch error (6 slots, 8 replicas)")
+	}
+	if _, err := Permutation(rng, cat, []int{4, 4}, 1); err != nil {
+		t.Fatalf("exact slots rejected: %v", err)
+	}
+	if _, err := Permutation(rng, cat, []int{4, -4}, 1); err == nil {
+		t.Fatal("expected negative-slot error")
+	}
+	if _, err := Permutation(rng, cat, []int{4, 4}, 0); err == nil {
+		t.Fatal("expected k>=1 error")
+	}
+}
+
+func TestPermutationHeterogeneousSlots(t *testing.T) {
+	rng := stats.NewRNG(3)
+	cat := video.MustCatalog(6, 2, 10) // 12 stripes, k=2 -> 24 replicas
+	slots := []int{12, 6, 6}
+	a, err := Permutation(rng, cat, slots, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, want := range slots {
+		if len(a.ByBox[b]) != want {
+			t.Errorf("box %d load %d, want %d", b, len(a.ByBox[b]), want)
+		}
+	}
+}
+
+func TestPermutationDeterminism(t *testing.T) {
+	a1, _, err := HomogeneousPermutation(stats.NewRNG(42), 10, 2, 2, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, _ := HomogeneousPermutation(stats.NewRNG(42), 10, 2, 2, 20, 4)
+	for s := range a1.ByStripe {
+		if len(a1.ByStripe[s]) != len(a2.ByStripe[s]) {
+			t.Fatal("determinism broken: different replica counts")
+		}
+		for i := range a1.ByStripe[s] {
+			if a1.ByStripe[s][i] != a2.ByStripe[s][i] {
+				t.Fatal("determinism broken: different boxes")
+			}
+		}
+	}
+}
+
+func TestIndependentAllocation(t *testing.T) {
+	rng := stats.NewRNG(7)
+	cat := video.MustCatalog(10, 4, 20)
+	n := 30
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = 8 // 240 slots for 10*4*3 = 120 replicas: roomy
+	}
+	a, err := Independent(rng, cat, slots, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := range a.ByStripe {
+		total += len(a.ByStripe[s])
+	}
+	if total+a.Overflow != 3*cat.NumStripes() {
+		t.Fatalf("replicas %d + overflow %d != %d", total, a.Overflow, 3*cat.NumStripes())
+	}
+	// No box exceeds its slots.
+	for b := range a.ByBox {
+		if len(a.ByBox[b]) > slots[b] {
+			t.Errorf("box %d over capacity: %d > %d", b, len(a.ByBox[b]), slots[b])
+		}
+	}
+}
+
+func TestIndependentTightOverflows(t *testing.T) {
+	// With slots exactly equal to replicas, collisions are certain for
+	// this size; overflow must be counted, never a capacity violation.
+	rng := stats.NewRNG(11)
+	cat := video.MustCatalog(20, 4, 20)
+	n := 16
+	slots := make([]int, n)
+	for i := range slots {
+		slots[i] = 20 * 4 * 2 / n
+	}
+	a, err := Independent(rng, cat, slots, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Overflow == 0 {
+		t.Log("note: no overflow this seed (unlikely but legal)")
+	}
+	st := a.Stats()
+	if st.Overflow != a.Overflow {
+		t.Error("Stats does not propagate overflow")
+	}
+}
+
+func TestIndependentErrors(t *testing.T) {
+	rng := stats.NewRNG(1)
+	cat := video.MustCatalog(2, 2, 10)
+	if _, err := Independent(rng, cat, []int{0, 0}, 1); err == nil {
+		t.Fatal("expected no-storage error")
+	}
+	if _, err := Independent(rng, cat, []int{4}, 0); err == nil {
+		t.Fatal("expected k>=1 error")
+	}
+	if _, err := Independent(rng, cat, []int{-1}, 1); err == nil {
+		t.Fatal("expected negative-slot error")
+	}
+}
+
+func TestFullReplicationRoundRobin(t *testing.T) {
+	cat := video.MustCatalog(2, 2, 10) // 4 stripes
+	slots := []int{4, 4, 4, 4}
+	a, err := FullReplication(cat, slots, 4) // 16 replicas over 16 slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.ByStripe {
+		if len(a.ByStripe[s]) != 4 {
+			t.Errorf("stripe %d has %d replicas", s, len(a.ByStripe[s]))
+		}
+	}
+	for b := range a.ByBox {
+		if len(a.ByBox[b]) != 4 {
+			t.Errorf("box %d load %d", b, len(a.ByBox[b]))
+		}
+	}
+}
+
+func TestFullReplicationExhaustion(t *testing.T) {
+	cat := video.MustCatalog(4, 2, 10)
+	if _, err := FullReplication(cat, []int{3}, 1); err == nil {
+		t.Fatal("expected storage-exhaustion error")
+	}
+	if _, err := FullReplication(cat, []int{8}, 0); err == nil {
+		t.Fatal("expected k>=1 error")
+	}
+}
+
+func TestStoresAndAccessors(t *testing.T) {
+	rng := stats.NewRNG(5)
+	a, cat, err := HomogeneousPermutation(rng, 6, 2, 2, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Catalog() != cat {
+		t.Error("Catalog accessor mismatch")
+	}
+	if a.NumBoxes() != 6 {
+		t.Errorf("NumBoxes = %d", a.NumBoxes())
+	}
+	for s := video.StripeID(0); int(s) < cat.NumStripes(); s++ {
+		if a.Replicas(s) != 3 {
+			t.Errorf("Replicas(%d) = %d", s, a.Replicas(s))
+		}
+		for _, b := range a.ByStripe[s] {
+			if !a.Stores(int(b), s) {
+				t.Errorf("Stores(%d,%d) = false for a stored replica", b, s)
+			}
+		}
+	}
+	if a.Stores(0, 0) {
+		// Only a problem if box 0 genuinely does not store stripe 0.
+		found := false
+		for _, b := range a.ByStripe[0] {
+			if b == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("Stores returned true for non-stored stripe")
+		}
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	rng := stats.NewRNG(13)
+	a, _, err := HomogeneousPermutation(rng, 12, 3, 2, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.MaxBoxLoad != 6 || st.BoxLoad.Mean != 6 {
+		t.Errorf("box load stats wrong: %+v", st)
+	}
+	if st.MinStripes != 4 || st.StripeLoad.Mean != 4 {
+		t.Errorf("stripe load stats wrong: %+v", st)
+	}
+}
+
+// Property: permutation allocation is always exactly balanced and complete.
+func TestQuickPermutationBalance(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw, cRaw, kRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		d := int(dRaw%4) + 1
+		c := int(cRaw%5) + 1
+		k := int(kRaw%4) + 1
+		if (d*n)%k != 0 {
+			return true // skip invalid combinations
+		}
+		a, cat, err := HomogeneousPermutation(stats.NewRNG(seed), n, d, c, 10, k)
+		if err != nil {
+			return false
+		}
+		for b := range a.ByBox {
+			if len(a.ByBox[b]) != d*c {
+				return false
+			}
+		}
+		for s := 0; s < cat.NumStripes(); s++ {
+			if a.Replicas(video.StripeID(s)) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: independent allocation never overfills a box and conserves
+// replicas + overflow.
+func TestQuickIndependentConservation(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := int(nRaw%15) + 2
+		k := int(kRaw%3) + 1
+		cat := video.MustCatalog(6, 3, 10)
+		slots := make([]int, n)
+		for i := range slots {
+			slots[i] = 2 + rng.Intn(10)
+		}
+		a, err := Independent(rng, cat, slots, k)
+		if err != nil {
+			return false
+		}
+		placed := 0
+		for b := range a.ByBox {
+			if len(a.ByBox[b]) > slots[b] {
+				return false
+			}
+			placed += len(a.ByBox[b])
+		}
+		return placed+a.Overflow == k*cat.NumStripes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// HeteroParams bundles the inputs of Theorem 2: per-box upload and storage
+// capacities, the deficiency threshold u*, and the swarm growth bound.
+type HeteroParams struct {
+	Uploads  []float64 // u_b per box
+	Storage  []float64 // d_b per box, in videos
+	UStar    float64   // deficiency threshold u* > 1
+	Mu       float64   // maximal swarm growth µ ≥ 1
+	Duration int       // T, for completeness of planning output
+}
+
+// Validate checks structural sanity.
+func (p HeteroParams) Validate() error {
+	if len(p.Uploads) == 0 || len(p.Uploads) != len(p.Storage) {
+		return fmt.Errorf("analysis: need matching non-empty capacity vectors (got %d uploads, %d storage)",
+			len(p.Uploads), len(p.Storage))
+	}
+	if p.UStar <= 1 {
+		return fmt.Errorf("analysis: u*=%v must exceed 1", p.UStar)
+	}
+	if p.Mu < 1 {
+		return fmt.Errorf("analysis: µ=%v must be at least 1", p.Mu)
+	}
+	for b, u := range p.Uploads {
+		if u < 0 || p.Storage[b] < 0 {
+			return fmt.Errorf("analysis: box %d has negative capacity", b)
+		}
+	}
+	return nil
+}
+
+// N returns the number of boxes.
+func (p HeteroParams) N() int { return len(p.Uploads) }
+
+// AvgUpload returns the average upload capacity u.
+func (p HeteroParams) AvgUpload() float64 {
+	s := 0.0
+	for _, u := range p.Uploads {
+		s += u
+	}
+	return s / float64(len(p.Uploads))
+}
+
+// AvgStorage returns the average storage capacity d.
+func (p HeteroParams) AvgStorage() float64 {
+	s := 0.0
+	for _, d := range p.Storage {
+		s += d
+	}
+	return s / float64(len(p.Storage))
+}
+
+// UploadDeficit returns ∆(u*) = Σ_{b : u_b < u*} (u* − u_b), the total
+// bandwidth missing to poor boxes (Section 4).
+func UploadDeficit(uploads []float64, uStar float64) float64 {
+	d := 0.0
+	for _, u := range uploads {
+		if u < uStar {
+			d += uStar - u
+		}
+	}
+	return d
+}
+
+// HeteroNecessaryCondition reports whether the intuitive lower bound for
+// heterogeneous scalability holds: u > 1 + ∆(1)/n.
+func HeteroNecessaryCondition(uploads []float64) bool {
+	n := float64(len(uploads))
+	avg := 0.0
+	for _, u := range uploads {
+		avg += u
+	}
+	avg /= n
+	return avg > 1+UploadDeficit(uploads, 1)/n
+}
+
+// CompensationFeasible reports whether Σ over rich boxes of spare capacity
+// above u* covers the total reservation demand Σ_{poor} (u*+1−2u_b): a
+// necessary aggregate condition for u*-upload-compensation. The
+// constructive per-box assignment lives in package hetero.
+func CompensationFeasible(uploads []float64, uStar float64) bool {
+	var spare, need float64
+	for _, u := range uploads {
+		if u >= uStar {
+			spare += u - uStar
+		} else {
+			need += uStar + 1 - 2*u
+		}
+	}
+	return spare >= need
+}
+
+// StorageBalanced reports whether the system is u*-storage-balanced:
+// 2 ≤ d_b/u_b and d_b/u_b ≤ d/u* for every box (Section 4). Boxes with
+// zero upload must have zero storage to pass.
+func StorageBalanced(p HeteroParams) bool {
+	d := p.AvgStorage()
+	for b, u := range p.Uploads {
+		db := p.Storage[b]
+		if u == 0 {
+			if db != 0 {
+				return false
+			}
+			continue
+		}
+		ratio := db / u
+		if ratio < 2 || ratio > d/p.UStar {
+			return false
+		}
+	}
+	return true
+}
+
+// ProportionallyHeterogeneous reports whether u_b/d_b is the same for all
+// boxes (the paper's special case that is always u*-storage-balanced for
+// d ≥ 2, u* ≤ u).
+func ProportionallyHeterogeneous(p HeteroParams) bool {
+	var ratio float64
+	first := true
+	for b, u := range p.Uploads {
+		db := p.Storage[b]
+		if db == 0 {
+			if u == 0 {
+				continue
+			}
+			return false
+		}
+		r := u / db
+		if first {
+			ratio = r
+			first = false
+			continue
+		}
+		if math.Abs(r-ratio) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Theorem2Nu returns ν = 1/(c+2µ⁴−1) − 1/(c+3µ⁴) for the heterogeneous
+// construction.
+func Theorem2Nu(c int, mu float64) float64 {
+	mu4 := math.Pow(mu, 4)
+	return 1/(float64(c)+2*mu4-1) - 1/(float64(c)+3*mu4)
+}
+
+// Theorem2UPrime returns u′ = (c+3µ⁴)/c, the per-stripe service guarantee
+// the relay construction provides.
+func Theorem2UPrime(c int, mu float64) float64 {
+	return (float64(c) + 3*math.Pow(mu, 4)) / float64(c)
+}
+
+// Theorem2MinC returns the smallest c with c > 4µ⁴/(u*−1).
+func Theorem2MinC(uStar, mu float64) (int, error) {
+	if uStar <= 1 {
+		return 0, ErrBelowThreshold
+	}
+	bound := 4 * math.Pow(mu, 4) / (uStar - 1)
+	c := int(math.Floor(bound)) + 1
+	if float64(c) <= bound {
+		c++
+	}
+	return c, nil
+}
+
+// Theorem2ConstructionC returns c = ⌈10µ⁴/(u*−1)⌉, the stripe count the
+// relay construction actually assumes (it needs the stronger margin).
+func Theorem2ConstructionC(uStar, mu float64) (int, error) {
+	if uStar <= 1 {
+		return 0, ErrBelowThreshold
+	}
+	return int(math.Ceil(10 * math.Pow(mu, 4) / (uStar - 1))), nil
+}
+
+// Theorem2MinK returns k ≥ 5·ν⁻¹·log d′/log u′ with the Theorem 2
+// quantities and d′ = max{d, u*, e}.
+func Theorem2MinK(p HeteroParams, c int) (int, error) {
+	nu := Theorem2Nu(c, p.Mu)
+	if nu <= 0 {
+		return 0, ErrBelowThreshold
+	}
+	uPrime := Theorem2UPrime(c, p.Mu)
+	dPrime := DPrime(p.AvgStorage(), p.UStar)
+	k := 5 / nu * math.Log(dPrime) / math.Log(uPrime)
+	return int(math.Ceil(k)), nil
+}
+
+// Theorem2CatalogBound evaluates the Theorem 2 catalog lower-bound shape
+// (u*−1)²·log((u*+3)/4)/µ⁴ · d·n/log d′ (stated for u* ≤ 2).
+func Theorem2CatalogBound(p HeteroParams) float64 {
+	if p.UStar <= 1 {
+		return 0
+	}
+	dPrime := DPrime(p.AvgStorage(), p.UStar)
+	num := (p.UStar - 1) * (p.UStar - 1) * math.Log((p.UStar+3)/4)
+	return num / math.Pow(p.Mu, 4) * p.AvgStorage() * float64(p.N()) / math.Log(dPrime)
+}
+
+// DirectStripes returns c_b = max(0, ⌊c·u_b − 4µ⁴⌋): the number of
+// postponed stripes a poor box downloads directly rather than through its
+// relay (Section 4).
+func DirectStripes(ub float64, c int, mu float64) int {
+	cb := math.Floor(ub*float64(c) - 4*math.Pow(mu, 4))
+	if cb < 0 {
+		return 0
+	}
+	return int(cb)
+}
+
+// ReservationNeed returns the upload a rich box must reserve for poor box
+// b: u* + 1 − 2·u_b (Section 4). Only meaningful for u_b < u*.
+func ReservationNeed(ub, uStar float64) float64 {
+	return uStar + 1 - 2*ub
+}
+
+// HeteroPlan is the Theorem 2 analogue of Plan.
+type HeteroPlan struct {
+	Params        HeteroParams
+	C             int
+	K             int
+	M             int // ⌊d_total/k⌋ where d_total = Σ d_b·... expressed in videos: Σd_b·n-normalized
+	Nu            float64
+	UPrime        float64
+	DPrime        float64
+	Deficit1      float64 // ∆(1)
+	DeficitUStar  float64 // ∆(u*)
+	NecessaryOK   bool    // u > 1 + ∆(1)/n
+	Compensatable bool    // aggregate reservation feasibility
+	Balanced      bool    // u*-storage-balance
+	Bound         float64
+}
+
+// NewHeteroPlan derives the full Theorem 2 parameterization using the
+// construction stripe count ⌈10µ⁴/(u*−1)⌉.
+func NewHeteroPlan(p HeteroParams) (HeteroPlan, error) {
+	if err := p.Validate(); err != nil {
+		return HeteroPlan{}, err
+	}
+	c, err := Theorem2ConstructionC(p.UStar, p.Mu)
+	if err != nil {
+		return HeteroPlan{}, err
+	}
+	k, err := Theorem2MinK(p, c)
+	if err != nil {
+		return HeteroPlan{}, err
+	}
+	totalStorage := 0.0
+	for _, d := range p.Storage {
+		totalStorage += d
+	}
+	return HeteroPlan{
+		Params:        p,
+		C:             c,
+		K:             k,
+		M:             int(totalStorage) / k,
+		Nu:            Theorem2Nu(c, p.Mu),
+		UPrime:        Theorem2UPrime(c, p.Mu),
+		DPrime:        DPrime(p.AvgStorage(), p.UStar),
+		Deficit1:      UploadDeficit(p.Uploads, 1),
+		DeficitUStar:  UploadDeficit(p.Uploads, p.UStar),
+		NecessaryOK:   HeteroNecessaryCondition(p.Uploads),
+		Compensatable: CompensationFeasible(p.Uploads, p.UStar),
+		Balanced:      StorageBalanced(p),
+		Bound:         Theorem2CatalogBound(p),
+	}, nil
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func uniformHetero(n int, u, d, uStar, mu float64) HeteroParams {
+	us := make([]float64, n)
+	ds := make([]float64, n)
+	for i := range us {
+		us[i] = u
+		ds[i] = d
+	}
+	return HeteroParams{Uploads: us, Storage: ds, UStar: uStar, Mu: mu, Duration: 100}
+}
+
+func TestHeteroValidate(t *testing.T) {
+	if err := uniformHetero(10, 1.5, 4, 1.2, 1.1).Validate(); err != nil {
+		t.Fatalf("valid rejected: %v", err)
+	}
+	bad := []HeteroParams{
+		{},
+		{Uploads: []float64{1}, Storage: []float64{1, 2}, UStar: 1.2, Mu: 1.1},
+		{Uploads: []float64{1}, Storage: []float64{2}, UStar: 1.0, Mu: 1.1},
+		{Uploads: []float64{1}, Storage: []float64{2}, UStar: 1.2, Mu: 0.9},
+		{Uploads: []float64{-1}, Storage: []float64{2}, UStar: 1.2, Mu: 1.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestUploadDeficit(t *testing.T) {
+	us := []float64{0.5, 0.8, 1.2, 2.0}
+	// ∆(1) = 0.5 + 0.2 = 0.7.
+	if d := UploadDeficit(us, 1); math.Abs(d-0.7) > 1e-12 {
+		t.Errorf("∆(1) = %v, want 0.7", d)
+	}
+	// ∆(1.5) = 1.0 + 0.7 + 0.3 = 2.0.
+	if d := UploadDeficit(us, 1.5); math.Abs(d-2.0) > 1e-12 {
+		t.Errorf("∆(1.5) = %v, want 2.0", d)
+	}
+	if d := UploadDeficit(us, 0.4); d != 0 {
+		t.Errorf("∆ below all capacities = %v, want 0", d)
+	}
+}
+
+func TestHeteroNecessaryCondition(t *testing.T) {
+	// All boxes at 1.5: u=1.5 > 1 + 0 → ok.
+	if !HeteroNecessaryCondition([]float64{1.5, 1.5, 1.5}) {
+		t.Error("homogeneous 1.5 should pass")
+	}
+	// Half at 0, half at 2: u = 1, ∆(1)/n = 0.5 → 1 > 1.5 false.
+	if HeteroNecessaryCondition([]float64{0, 2, 0, 2}) {
+		t.Error("deficit-heavy system should fail")
+	}
+	// Half at 0, half at 3.1: u = 1.55 > 1 + 0.5 → ok.
+	if !HeteroNecessaryCondition([]float64{0, 3.1, 0, 3.1}) {
+		t.Error("rich-compensated system should pass")
+	}
+}
+
+func TestCompensationFeasible(t *testing.T) {
+	// Poor box at 0.5 needs u*+1−2·0.5 = u*; rich box must have u ≥ 2u*.
+	uStar := 1.2
+	if !CompensationFeasible([]float64{0.5, 2*uStar + 0.1}, uStar) {
+		t.Error("feasible case rejected")
+	}
+	if CompensationFeasible([]float64{0.5, uStar + 0.1}, uStar) {
+		t.Error("infeasible case accepted")
+	}
+}
+
+func TestStorageBalanced(t *testing.T) {
+	p := uniformHetero(4, 1.5, 4, 1.2, 1.1)
+	// d_b/u_b = 2.67 ∈ [2, d/u* = 3.33]: balanced.
+	if !StorageBalanced(p) {
+		t.Error("balanced system rejected")
+	}
+	p.Storage[0] = 1 // ratio 0.67 < 2
+	if StorageBalanced(p) {
+		t.Error("unbalanced (too little storage) accepted")
+	}
+	p = uniformHetero(4, 1.5, 4, 1.2, 1.1)
+	p.Storage[0] = 40 // ratio 26.7 > d/u*
+	if StorageBalanced(p) {
+		t.Error("unbalanced (too much storage) accepted")
+	}
+	// Zero-upload boxes need zero storage.
+	p = uniformHetero(4, 1.5, 4, 1.2, 1.1)
+	p.Uploads[0] = 0
+	if StorageBalanced(p) {
+		t.Error("zero-upload box with storage accepted")
+	}
+	p.Storage[0] = 0
+	// Zeroing box 0's storage lowers the average d to 3, so d/u* must stay
+	// above the remaining boxes' ratio 4/1.5 ≈ 2.67: use u* = 1.1.
+	p.UStar = 1.1
+	if !StorageBalanced(p) {
+		t.Error("zero-upload zero-storage box rejected")
+	}
+}
+
+func TestProportionallyHeterogeneous(t *testing.T) {
+	p := HeteroParams{
+		Uploads: []float64{1, 2, 4},
+		Storage: []float64{2, 4, 8},
+		UStar:   1.2, Mu: 1.1,
+	}
+	if !ProportionallyHeterogeneous(p) {
+		t.Error("proportional system rejected")
+	}
+	p.Uploads[0] = 1.5
+	if ProportionallyHeterogeneous(p) {
+		t.Error("non-proportional system accepted")
+	}
+}
+
+func TestTheorem2Formulas(t *testing.T) {
+	mu := 1.1
+	uStar := 1.5
+	c, err := Theorem2MinC(uStar, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c > 4µ⁴/(u*−1) = 11.7 → 12.
+	if c != 12 {
+		t.Errorf("Theorem2MinC = %d, want 12", c)
+	}
+	cc, err := Theorem2ConstructionC(uStar, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc < c {
+		t.Errorf("construction c %d below minimal %d", cc, c)
+	}
+	if nu := Theorem2Nu(cc, mu); nu <= 0 {
+		t.Errorf("Theorem 2 ν = %v should be positive at construction c", nu)
+	}
+	if up := Theorem2UPrime(cc, mu); up <= 1 {
+		t.Errorf("Theorem 2 u′ = %v should exceed 1", up)
+	}
+	if _, err := Theorem2MinC(1.0, mu); err == nil {
+		t.Error("u* = 1 should fail")
+	}
+	if _, err := Theorem2ConstructionC(0.9, mu); err == nil {
+		t.Error("u* < 1 should fail")
+	}
+}
+
+func TestTheorem2CatalogBound(t *testing.T) {
+	p := uniformHetero(100, 1.5, 4, 1.5, 1.1)
+	b := Theorem2CatalogBound(p)
+	if b <= 0 {
+		t.Fatalf("bound = %v", b)
+	}
+	// Linear in n.
+	p2 := uniformHetero(200, 1.5, 4, 1.5, 1.1)
+	if math.Abs(Theorem2CatalogBound(p2)/b-2) > 1e-9 {
+		t.Error("bound not linear in n")
+	}
+	p3 := uniformHetero(100, 1.5, 4, 1.001, 1.1)
+	if Theorem2CatalogBound(p3) >= b {
+		t.Error("bound should shrink as u* approaches 1")
+	}
+}
+
+func TestDirectStripes(t *testing.T) {
+	// c·u_b − 4µ⁴ with u_b=0.5, c=40, µ=1: 20−4 = 16.
+	if got := DirectStripes(0.5, 40, 1); got != 16 {
+		t.Errorf("DirectStripes = %d, want 16", got)
+	}
+	if got := DirectStripes(0.05, 40, 1); got != 0 {
+		t.Errorf("tiny upload should give 0 direct stripes, got %d", got)
+	}
+}
+
+func TestReservationNeed(t *testing.T) {
+	if got := ReservationNeed(0.5, 1.2); math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("ReservationNeed = %v, want 1.2", got)
+	}
+}
+
+func TestNewHeteroPlan(t *testing.T) {
+	// Mixed population: 30% poor (0.5), 70% rich (2.5); storage proportional.
+	n := 100
+	us := make([]float64, n)
+	ds := make([]float64, n)
+	for i := range us {
+		if i < 30 {
+			us[i] = 0.5
+			ds[i] = 1.25
+		} else {
+			us[i] = 2.5
+			ds[i] = 6.25
+		}
+	}
+	p := HeteroParams{Uploads: us, Storage: ds, UStar: 1.5, Mu: 1.05, Duration: 100}
+	plan, err := NewHeteroPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.C <= 0 || plan.K <= 0 {
+		t.Fatalf("degenerate plan: %+v", plan)
+	}
+	if plan.Deficit1 <= 0 || plan.DeficitUStar <= plan.Deficit1 {
+		t.Errorf("deficits wrong: ∆(1)=%v ∆(u*)=%v", plan.Deficit1, plan.DeficitUStar)
+	}
+	if !plan.NecessaryOK {
+		t.Error("necessary condition should hold: u=1.9 > 1 + 0.15")
+	}
+	if !plan.Compensatable {
+		t.Error("rich boxes have ample spare capacity")
+	}
+	if _, err := NewHeteroPlan(HeteroParams{}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}

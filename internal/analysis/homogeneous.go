@@ -1,0 +1,224 @@
+// Package analysis implements, as executable closed forms, every bound and
+// threshold stated in the paper: Theorem 1 (homogeneous systems), Theorem 2
+// (balanced heterogeneous systems), the expansion bound of Lemma 2, the
+// allocation probability bounds of Lemmas 3–4, the first-moment union bound
+// on the obstruction probability, and the impossibility bound for u < 1.
+//
+// The experiment harness plots these next to the measured quantities, so a
+// reader can see where the theory's (intentionally loose) constants sit
+// relative to simulated behaviour.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBelowThreshold is returned when a parameter request is unsatisfiable
+// because the system sits at or below the scalability threshold.
+var ErrBelowThreshold = errors.New("analysis: upload capacity at or below scalability threshold")
+
+// HomogeneousParams bundles the inputs of Theorem 1.
+type HomogeneousParams struct {
+	N  int     // number of boxes
+	U  float64 // normalized upload capacity of every box
+	D  int     // storage capacity of every box, in videos
+	Mu float64 // maximal swarm growth per round (µ > 1)
+}
+
+// Validate checks structural sanity (not the threshold).
+func (p HomogeneousParams) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("analysis: n=%d must be positive", p.N)
+	}
+	if p.D <= 0 {
+		return fmt.Errorf("analysis: d=%d must be positive", p.D)
+	}
+	if p.U < 0 {
+		return fmt.Errorf("analysis: u=%v must be non-negative", p.U)
+	}
+	if p.Mu < 1 {
+		return fmt.Errorf("analysis: µ=%v must be at least 1", p.Mu)
+	}
+	return nil
+}
+
+// EffectiveUpload returns u′ = ⌊u·c⌋/c: the usable upload of a box that
+// can only serve whole stripes of rate 1/c.
+func EffectiveUpload(u float64, c int) float64 {
+	return math.Floor(u*float64(c)) / float64(c)
+}
+
+// UploadSlots returns ⌊u·c⌋, the box upload capacity in stripe slots.
+func UploadSlots(u float64, c int) int {
+	return int(math.Floor(u*float64(c) + 1e-9))
+}
+
+// Nu returns ν = 1/(c+2µ²−1) − 1/(uc), the expansion margin of Lemma 4.
+// It is positive exactly when c exceeds the Theorem 1 stripe-count bound.
+func Nu(u float64, c int, mu float64) float64 {
+	return 1/(float64(c)+2*mu*mu-1) - 1/(u*float64(c))
+}
+
+// MinC returns the smallest stripe count c satisfying the Theorem 1
+// condition c > (2µ²−1)/(u−1). It fails for u ≤ 1, where no finite c works.
+func MinC(u, mu float64) (int, error) {
+	if u <= 1 {
+		return 0, ErrBelowThreshold
+	}
+	bound := (2*mu*mu - 1) / (u - 1)
+	c := int(math.Floor(bound)) + 1
+	if float64(c) <= bound { // exact-integer boundary
+		c++
+	}
+	return c, nil
+}
+
+// RecommendedC returns c = ⌈2(2µ²−1)/(u−1)⌉, the choice used in the final
+// catalog-size derivation of Theorem 1 (it guarantees u′ ≥ (u+1)/2).
+func RecommendedC(u, mu float64) (int, error) {
+	if u <= 1 {
+		return 0, ErrBelowThreshold
+	}
+	return int(math.Ceil(2 * (2*mu*mu - 1) / (u - 1))), nil
+}
+
+// DPrime returns d′ = max{d, u, e}, the normalization used in the
+// replication bound.
+func DPrime(d, u float64) float64 {
+	return math.Max(math.Max(d, u), math.E)
+}
+
+// MinK returns the Theorem 1 replication factor k ≥ 5·ν⁻¹·log d′ / log u′
+// for the given stripe count c. It fails when ν ≤ 0 (c too small) or
+// u′ ≤ 1 (upload truncation ate the whole margin).
+func MinK(p HomogeneousParams, c int) (int, error) {
+	nu := Nu(p.U, c, p.Mu)
+	if nu <= 0 {
+		return 0, fmt.Errorf("analysis: ν=%.4g ≤ 0 at c=%d: %w", nu, c, ErrBelowThreshold)
+	}
+	uPrime := EffectiveUpload(p.U, c)
+	if uPrime <= 1 {
+		return 0, fmt.Errorf("analysis: u′=%.4g ≤ 1 at c=%d: %w", uPrime, c, ErrBelowThreshold)
+	}
+	dPrime := DPrime(float64(p.D), p.U)
+	k := 5 / nu * math.Log(dPrime) / math.Log(uPrime)
+	return int(math.Ceil(k)), nil
+}
+
+// ProofK returns the slightly stronger replication bound appearing at the
+// end of the Theorem 1 proof: k ≥ ν⁻¹·max{5, log_{u′}(e⁴·d′·u′)}.
+func ProofK(p HomogeneousParams, c int) (int, error) {
+	nu := Nu(p.U, c, p.Mu)
+	if nu <= 0 {
+		return 0, ErrBelowThreshold
+	}
+	uPrime := EffectiveUpload(p.U, c)
+	if uPrime <= 1 {
+		return 0, ErrBelowThreshold
+	}
+	dPrime := DPrime(float64(p.D), p.U)
+	logTerm := math.Log(math.Exp(4)*dPrime*uPrime) / math.Log(uPrime)
+	k := math.Max(5, logTerm) / nu
+	return int(math.Ceil(k)), nil
+}
+
+// CatalogSize returns m = ⌊d·n/k⌋, the catalog achieved by storing k
+// replicas of each stripe.
+func CatalogSize(n, d, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return d * n / k
+}
+
+// CatalogBound evaluates the Theorem 1 lower-bound shape
+//
+//	(u−1)² · log((u+1)/2) / (u³ µ²) · d·n / log d′
+//
+// without the unspecified Ω-constant. Experiments compare its *shape*
+// (scaling in u and n) against measured catalog sizes.
+func CatalogBound(p HomogeneousParams) float64 {
+	if p.U <= 1 {
+		return 0
+	}
+	dPrime := DPrime(float64(p.D), p.U)
+	num := (p.U - 1) * (p.U - 1) * math.Log((p.U+1)/2)
+	den := p.U * p.U * p.U * p.Mu * p.Mu
+	return num / den * float64(p.D*p.N) / math.Log(dPrime)
+}
+
+// Plan is a complete parameterization of a Theorem 1 system.
+type Plan struct {
+	Params HomogeneousParams
+	C      int     // stripes per video
+	K      int     // replicas per stripe (theorem bound)
+	ProofK int     // stricter proof-stage bound
+	M      int     // achieved catalog ⌊dn/k⌋ at K
+	UPrime float64 // effective upload ⌊uc⌋/c
+	Nu     float64 // expansion margin
+	DPrime float64
+	Bound  float64 // catalog lower-bound shape
+}
+
+// NewPlan derives the full Theorem 1 parameterization, choosing the
+// recommended stripe count.
+func NewPlan(p HomogeneousParams) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	c, err := RecommendedC(p.U, p.Mu)
+	if err != nil {
+		return Plan{}, err
+	}
+	return NewPlanWithC(p, c)
+}
+
+// NewPlanWithC derives the Theorem 1 parameterization for a caller-chosen
+// stripe count.
+func NewPlanWithC(p HomogeneousParams, c int) (Plan, error) {
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if c <= 0 {
+		return Plan{}, fmt.Errorf("analysis: c=%d must be positive", c)
+	}
+	k, err := MinK(p, c)
+	if err != nil {
+		return Plan{}, err
+	}
+	pk, err := ProofK(p, c)
+	if err != nil {
+		return Plan{}, err
+	}
+	return Plan{
+		Params: p,
+		C:      c,
+		K:      k,
+		ProofK: pk,
+		M:      CatalogSize(p.N, p.D, k),
+		UPrime: EffectiveUpload(p.U, c),
+		Nu:     Nu(p.U, c, p.Mu),
+		DPrime: DPrime(float64(p.D), p.U),
+		Bound:  CatalogBound(p),
+	}, nil
+}
+
+// ImpossibilityCatalogCap returns the u < 1 catalog ceiling m ≤ d_max/ℓ
+// (Section 1.3): with minimal chunk size ℓ, a box stores data of at most
+// d/ℓ videos, and any larger catalog admits a defeating request sequence.
+func ImpossibilityCatalogCap(dMax, ell float64) int {
+	if ell <= 0 {
+		panic("analysis: minimal chunk size must be positive")
+	}
+	return int(math.Floor(dMax / ell))
+}
+
+// Lemma2LowerBound returns the Lemma 2 expansion bound on |B(X)|: for a
+// request set of size i touching i1 distinct stripes,
+//
+//	|B(X)| ≥ (i − (c+2µ²−1)·i1) / (c + 2(µ²−1)).
+func Lemma2LowerBound(i, i1, c int, mu float64) float64 {
+	return (float64(i) - (float64(c)+2*mu*mu-1)*float64(i1)) / (float64(c) + 2*(mu*mu-1))
+}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params(n int, u float64, d int, mu float64) HomogeneousParams {
+	return HomogeneousParams{N: n, U: u, D: d, Mu: mu}
+}
+
+func TestValidate(t *testing.T) {
+	if err := params(100, 1.5, 4, 1.2).Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []HomogeneousParams{
+		{N: 0, U: 1.5, D: 4, Mu: 1.2},
+		{N: 10, U: -1, D: 4, Mu: 1.2},
+		{N: 10, U: 1.5, D: 0, Mu: 1.2},
+		{N: 10, U: 1.5, D: 4, Mu: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestEffectiveUpload(t *testing.T) {
+	cases := []struct {
+		u    float64
+		c    int
+		want float64
+	}{
+		{1.5, 4, 1.5},   // 6/4
+		{1.3, 4, 1.25},  // ⌊5.2⌋/4
+		{0.9, 10, 0.9},  // 9/10
+		{2.0, 3, 2.0},   // 6/3
+		{0.99, 2, 0.5},  // ⌊1.98⌋/2
+	}
+	for _, tc := range cases {
+		if got := EffectiveUpload(tc.u, tc.c); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("EffectiveUpload(%v,%d) = %v, want %v", tc.u, tc.c, got, tc.want)
+		}
+	}
+	if UploadSlots(1.3, 4) != 5 {
+		t.Errorf("UploadSlots(1.3,4) = %d, want 5", UploadSlots(1.3, 4))
+	}
+	// Float-representation guard: 0.3*10 is 2.9999... in binary.
+	if UploadSlots(0.3, 10) != 3 {
+		t.Errorf("UploadSlots(0.3,10) = %d, want 3", UploadSlots(0.3, 10))
+	}
+}
+
+func TestMinC(t *testing.T) {
+	// µ=1: bound is 1/(u−1).
+	c, err := MinC(2, 1)
+	if err != nil || c != 2 {
+		t.Errorf("MinC(2,1) = %d,%v; want 2 (need c > 1)", c, err)
+	}
+	// u=1.5, µ=1.2: (2·1.44−1)/0.5 = 3.76 → c = 4.
+	c, err = MinC(1.5, 1.2)
+	if err != nil || c != 4 {
+		t.Errorf("MinC(1.5,1.2) = %d,%v; want 4", c, err)
+	}
+	// Exact boundary: u=2, µ? bound (2µ²−1)/(u−1) integer → strict.
+	// u=2, µ=1: bound = 1 → c must be 2 (strictly greater).
+	c, _ = MinC(2, 1)
+	if c != 2 {
+		t.Errorf("strict inequality violated: c = %d", c)
+	}
+	if _, err := MinC(1, 1.2); !errors.Is(err, ErrBelowThreshold) {
+		t.Error("MinC at u=1 should fail with ErrBelowThreshold")
+	}
+	if _, err := MinC(0.8, 1.2); err == nil {
+		t.Error("MinC below threshold should fail")
+	}
+}
+
+func TestNuPositivity(t *testing.T) {
+	// ν > 0 exactly when c > (2µ²−1)/(u−1).
+	u, mu := 1.5, 1.2
+	cMin, _ := MinC(u, mu)
+	if nu := Nu(u, cMin, mu); nu <= 0 {
+		t.Errorf("ν at minimal c should be positive, got %v", nu)
+	}
+	if nu := Nu(u, cMin-1, mu); nu > 0 {
+		t.Errorf("ν below minimal c should be non-positive, got %v", nu)
+	}
+}
+
+func TestDPrime(t *testing.T) {
+	if got := DPrime(10, 1.5); got != 10 {
+		t.Errorf("DPrime(10,1.5) = %v", got)
+	}
+	if got := DPrime(1, 5); got != 5 {
+		t.Errorf("DPrime(1,5) = %v", got)
+	}
+	if got := DPrime(1, 1); got != math.E {
+		t.Errorf("DPrime(1,1) = %v, want e", got)
+	}
+}
+
+func TestMinKSanity(t *testing.T) {
+	p := params(1000, 1.5, 4, 1.2)
+	c, _ := RecommendedC(p.U, p.Mu)
+	k, err := MinK(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 {
+		t.Fatalf("k = %d", k)
+	}
+	// The proof bound is at least the headline bound divided by 5·log-ratio
+	// scaling; both must be positive and finite.
+	pk, err := ProofK(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk < 1 {
+		t.Fatalf("proof k = %d", pk)
+	}
+	// k must fail below the c threshold.
+	if _, err := MinK(p, 2); err == nil {
+		t.Error("MinK with too-small c should fail")
+	}
+}
+
+func TestMinKDecreasesInU(t *testing.T) {
+	// More upload margin → fewer replicas needed (at fixed c).
+	mu := 1.1
+	c := 40
+	prev := math.MaxInt
+	for _, u := range []float64{1.2, 1.5, 2.0, 3.0} {
+		k, err := MinK(params(1000, u, 4, mu), c)
+		if err != nil {
+			t.Fatalf("u=%v: %v", u, err)
+		}
+		if k > prev {
+			t.Errorf("k increased from %d to %d as u grew to %v", prev, k, u)
+		}
+		prev = k
+	}
+}
+
+func TestCatalogSize(t *testing.T) {
+	if CatalogSize(100, 4, 8) != 50 {
+		t.Errorf("CatalogSize = %d", CatalogSize(100, 4, 8))
+	}
+	if CatalogSize(100, 4, 0) != 0 {
+		t.Error("k=0 should yield 0")
+	}
+}
+
+func TestCatalogBoundShape(t *testing.T) {
+	// Zero at the threshold, increasing in u after it, linear in n.
+	if CatalogBound(params(100, 1.0, 4, 1.2)) != 0 {
+		t.Error("bound at u=1 should be 0")
+	}
+	b1 := CatalogBound(params(100, 1.5, 4, 1.2))
+	b2 := CatalogBound(params(100, 2.0, 4, 1.2))
+	if !(b2 > b1 && b1 > 0) {
+		t.Errorf("bound not increasing in u: %v then %v", b1, b2)
+	}
+	bn := CatalogBound(params(200, 1.5, 4, 1.2))
+	if math.Abs(bn/b1-2) > 1e-9 {
+		t.Errorf("bound not linear in n: ratio %v", bn/b1)
+	}
+	// Decreasing in µ (faster growth costs catalog).
+	bm := CatalogBound(params(100, 1.5, 4, 2.0))
+	if bm >= b1 {
+		t.Errorf("bound should shrink with µ: %v vs %v", bm, b1)
+	}
+}
+
+func TestNewPlan(t *testing.T) {
+	p := params(10000, 1.5, 4, 1.2)
+	plan, err := NewPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.C <= 0 || plan.K <= 0 || plan.M <= 0 {
+		t.Fatalf("degenerate plan: %+v", plan)
+	}
+	if plan.Nu <= 0 {
+		t.Errorf("plan ν must be positive: %v", plan.Nu)
+	}
+	if plan.UPrime <= 1 {
+		t.Errorf("plan u′ must exceed 1: %v", plan.UPrime)
+	}
+	if plan.M != CatalogSize(p.N, p.D, plan.K) {
+		t.Error("plan M inconsistent with K")
+	}
+	if _, err := NewPlan(params(100, 0.9, 4, 1.2)); err == nil {
+		t.Error("plan below threshold should fail")
+	}
+	if _, err := NewPlanWithC(p, 0); err == nil {
+		t.Error("c=0 should fail")
+	}
+	if _, err := NewPlanWithC(HomogeneousParams{N: 0, U: 1.5, D: 4, Mu: 1.2}, 4); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestImpossibilityCatalogCap(t *testing.T) {
+	// d=4 videos of storage, chunks of 1/8 video: at most 32 videos.
+	if got := ImpossibilityCatalogCap(4, 0.125); got != 32 {
+		t.Errorf("cap = %d, want 32", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ℓ <= 0 should panic")
+		}
+	}()
+	ImpossibilityCatalogCap(4, 0)
+}
+
+func TestLemma2LowerBound(t *testing.T) {
+	// i=100 requests over i1=1 distinct stripe, c=8, µ=1.2: bound must be
+	// positive and at most i.
+	b := Lemma2LowerBound(100, 1, 8, 1.2)
+	if b <= 0 || b > 100 {
+		t.Errorf("bound = %v", b)
+	}
+	// More distinct stripes → weaker bound.
+	b2 := Lemma2LowerBound(100, 5, 8, 1.2)
+	if b2 >= b {
+		t.Errorf("bound should decrease in i1: %v then %v", b, b2)
+	}
+}
+
+// Property: MinK from NewPlanWithC always yields ν·k ≥ 5·log d′/log u′
+// (i.e. the theorem inequality holds at the returned k).
+func TestQuickMinKSatisfiesTheorem(t *testing.T) {
+	f := func(uRaw, muRaw uint8, dRaw uint8) bool {
+		u := 1.1 + float64(uRaw%40)/10 // 1.1 .. 5.0
+		mu := 1.0 + float64(muRaw%10)/10
+		d := int(dRaw%16) + 1
+		p := params(1000, u, d, mu)
+		c, err := RecommendedC(u, mu)
+		if err != nil {
+			return false
+		}
+		k, err := MinK(p, c)
+		if err != nil {
+			return true // truncation can push u′ ≤ 1 at extreme params; allowed
+		}
+		nu := Nu(u, c, mu)
+		uPrime := EffectiveUpload(u, c)
+		dPrime := DPrime(float64(d), u)
+		return float64(k)*nu >= 5*math.Log(dPrime)/math.Log(uPrime)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: recommended c always satisfies the strict threshold condition.
+func TestQuickRecommendedCAboveMinC(t *testing.T) {
+	f := func(uRaw, muRaw uint8) bool {
+		u := 1.05 + float64(uRaw%50)/10
+		mu := 1.0 + float64(muRaw%12)/10
+		rc, err1 := RecommendedC(u, mu)
+		mc, err2 := MinC(u, mu)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rc >= mc && Nu(u, rc, mu) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"math"
+)
+
+// This file implements the "large n" corollary stated after Theorem 1 for
+// random *independent* allocations: box storage loads are unbalanced, so
+// the stripe count must additionally grow like log n, at which point
+//
+//	u′ ≥ u/2,   ν⁻¹ ~ u·c/(u−1),
+//	k = O( u/(u−1) · log d′ / log(u/2) · log n )
+//
+// suffices and the achievable catalog becomes
+//
+//	m = Ω( (u−1)·log(u/2)/u · d/log d′ · n/log n ).
+//
+// Note the corollary needs u > 2 for log(u/2) to be positive (the paper's
+// asymptotic regime); below that, use the permutation-allocation plan.
+
+// IndependentMinC returns the stripe count for a random independent
+// allocation: the maximum of the Theorem 1 bound and ⌈2·log₂ n⌉ (the
+// Ω(log n) balance requirement; base-2 with constant 2 keeps the overflow
+// probability vanishing at practical sizes — experiment E8).
+func IndependentMinC(p HomogeneousParams) (int, error) {
+	c, err := MinC(p.U, p.Mu)
+	if err != nil {
+		return 0, err
+	}
+	logN := int(math.Ceil(2 * math.Log2(float64(p.N))))
+	if logN > c {
+		c = logN
+	}
+	return c, nil
+}
+
+// IndependentMinK returns the corollary's replication factor
+// k = ⌈ν⁻¹ · 5·log d′ / log(u/2)⌉ evaluated with u′ replaced by its
+// large-n lower bound u/2. It fails for u ≤ 2, outside the corollary's
+// regime.
+func IndependentMinK(p HomogeneousParams, c int) (int, error) {
+	if p.U <= 2 {
+		return 0, ErrBelowThreshold
+	}
+	nu := Nu(p.U, c, p.Mu)
+	if nu <= 0 {
+		return 0, ErrBelowThreshold
+	}
+	dPrime := DPrime(float64(p.D), p.U)
+	k := 5 / nu * math.Log(dPrime) / math.Log(p.U/2)
+	return int(math.Ceil(k)), nil
+}
+
+// IndependentCatalogBound evaluates the corollary's catalog shape
+// (u−1)·log(u/2)/u · d/log d′ · n/log n (zero outside the u > 2 regime).
+func IndependentCatalogBound(p HomogeneousParams) float64 {
+	if p.U <= 2 || p.N < 2 {
+		return 0
+	}
+	dPrime := DPrime(float64(p.D), p.U)
+	return (p.U - 1) * math.Log(p.U/2) / p.U *
+		float64(p.D) / math.Log(dPrime) *
+		float64(p.N) / math.Log(float64(p.N))
+}
+
+// IndependentPlan is the corollary analogue of Plan.
+type IndependentPlan struct {
+	Params HomogeneousParams
+	C      int
+	K      int
+	M      int
+	Bound  float64
+}
+
+// NewIndependentPlan derives the full corollary parameterization.
+func NewIndependentPlan(p HomogeneousParams) (IndependentPlan, error) {
+	if err := p.Validate(); err != nil {
+		return IndependentPlan{}, err
+	}
+	c, err := IndependentMinC(p)
+	if err != nil {
+		return IndependentPlan{}, err
+	}
+	k, err := IndependentMinK(p, c)
+	if err != nil {
+		return IndependentPlan{}, err
+	}
+	return IndependentPlan{
+		Params: p,
+		C:      c,
+		K:      k,
+		M:      CatalogSize(p.N, p.D, k),
+		Bound:  IndependentCatalogBound(p),
+	}, nil
+}

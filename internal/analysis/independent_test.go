@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIndependentMinCGrowsWithN(t *testing.T) {
+	mu := 1.1
+	u := 3.0
+	prev := 0
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		c, err := IndependentMinC(params(n, u, 4, mu))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prev {
+			t.Errorf("c shrank with n: %d after %d", c, prev)
+		}
+		if c < int(math.Ceil(2*math.Log2(float64(n)))) {
+			t.Errorf("n=%d: c=%d below the log n floor", n, c)
+		}
+		prev = c
+	}
+}
+
+func TestIndependentMinCRespectsTheoremBound(t *testing.T) {
+	// At small n and tight u the Theorem 1 bound can dominate the log n
+	// floor.
+	p := params(4, 1.05, 4, 1.5) // MinC = (2·2.25−1)/0.05 = 70
+	c, err := IndependentMinC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minc, _ := MinC(p.U, p.Mu)
+	if c < minc {
+		t.Errorf("c=%d below Theorem 1 bound %d", c, minc)
+	}
+	if _, err := IndependentMinC(params(100, 0.9, 4, 1.1)); err == nil {
+		t.Error("u<1 should fail")
+	}
+}
+
+func TestIndependentMinKRegime(t *testing.T) {
+	p := params(10000, 3.0, 4, 1.1)
+	c, err := IndependentMinC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := IndependentMinK(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 {
+		t.Fatalf("k=%d", k)
+	}
+	// Outside the u > 2 regime the corollary must refuse.
+	if _, err := IndependentMinK(params(10000, 1.5, 4, 1.1), c); err == nil {
+		t.Error("u ≤ 2 should fail the corollary")
+	}
+	// ν ≤ 0 must also refuse.
+	if _, err := IndependentMinK(params(10000, 2.1, 4, 3.0), 2); err == nil {
+		t.Error("c below the ν bound should fail")
+	}
+}
+
+func TestIndependentCatalogBoundShape(t *testing.T) {
+	// Ω(n/log n): super-linear denominator — the ratio bound/n must fall,
+	// but bound itself must grow.
+	prevBound := 0.0
+	prevRatio := math.Inf(1)
+	for _, n := range []int{1000, 10000, 100000} {
+		b := IndependentCatalogBound(params(n, 3.0, 4, 1.1))
+		if b <= prevBound {
+			t.Errorf("bound not growing: %v after %v", b, prevBound)
+		}
+		ratio := b / float64(n)
+		if ratio >= prevRatio {
+			t.Errorf("bound/n not falling: %v after %v", ratio, prevRatio)
+		}
+		prevBound, prevRatio = b, ratio
+	}
+	if IndependentCatalogBound(params(1000, 1.5, 4, 1.1)) != 0 {
+		t.Error("bound outside u>2 regime should be 0")
+	}
+}
+
+func TestNewIndependentPlan(t *testing.T) {
+	plan, err := NewIndependentPlan(params(100000, 3.0, 4, 1.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.C <= 0 || plan.K <= 0 || plan.M <= 0 || plan.Bound <= 0 {
+		t.Fatalf("degenerate plan: %+v", plan)
+	}
+	// The permutation plan at the same parameters needs fewer stripes
+	// (no log n floor).
+	perm, err := NewPlan(params(100000, 3.0, 4, 1.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.C < perm.C {
+		t.Errorf("independent c=%d below permutation c=%d", plan.C, perm.C)
+	}
+	if _, err := NewIndependentPlan(params(100000, 1.5, 4, 1.1)); err == nil {
+		t.Error("u ≤ 2 should fail")
+	}
+	if _, err := NewIndependentPlan(HomogeneousParams{}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}

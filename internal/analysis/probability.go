@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"math"
+)
+
+// logBinomial returns ln C(n, k) via log-gamma, or -Inf for invalid args.
+func logBinomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	ln2, _ := math.Lgamma(float64(k + 1))
+	ln3, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - ln2 - ln3
+}
+
+// Lemma3LogBound returns ln of the Lemma 3 bound (p/n)^{k·i1}: the
+// probability that the k·i1 replicas of i1 given distinct stripes all fall
+// into p given boxes under a random permutation allocation.
+func Lemma3LogBound(p, n, k, i1 int) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= n {
+		return 0
+	}
+	return float64(k*i1) * math.Log(float64(p)/float64(n))
+}
+
+// Lemma4LogP returns ln P(σ) per Lemma 4 for a stripe multiset of size i
+// with i1 distinct stripes:
+//
+//	P(σ) ≤ (u′nce/i)^i · (i/(u′cn))^{k·i1},  and P(σ) = 0 when i1 ≤ ν·i.
+//
+// A return of -Inf means the obstruction is combinatorially impossible
+// (the Lemma 2 / preloading-strategy regime).
+func Lemma4LogP(p HomogeneousParams, c, k, i, i1 int) float64 {
+	nu := Nu(p.U, c, p.Mu)
+	if float64(i1) <= nu*float64(i) {
+		return math.Inf(-1)
+	}
+	uPrime := EffectiveUpload(p.U, c)
+	unc := uPrime * float64(p.N) * float64(c)
+	fi := float64(i)
+	logP := fi*(math.Log(unc)+1-math.Log(fi)) + float64(k*i1)*(math.Log(fi)-math.Log(unc))
+	return math.Min(logP, 0)
+}
+
+// UnionBoundCoarse evaluates the paper's single-sum obstruction bound from
+// the Theorem 1 proof:
+//
+//	P(N_k > 0) ≤ Σ_{i=1}^{nc} (1−ν)·i·φ(i),   φ(i) = (i/(u′nc))^{κi}·δ^i,
+//
+// with κ = νk−2 and δ = 4d′e²/u′. The value is returned clamped to [0, 1]
+// (a bound above 1 is vacuous but still reported as 1).
+func UnionBoundCoarse(p HomogeneousParams, c, k int) float64 {
+	nu := Nu(p.U, c, p.Mu)
+	if nu <= 0 {
+		return 1
+	}
+	uPrime := EffectiveUpload(p.U, c)
+	if uPrime <= 0 {
+		return 1
+	}
+	dPrime := DPrime(float64(p.D), p.U)
+	kappa := nu*float64(k) - 2
+	delta := 4 * dPrime * math.E * math.E / uPrime
+	unc := uPrime * float64(p.N) * float64(c)
+	nc := p.N * c
+
+	total := 0.0
+	logDelta := math.Log(delta)
+	logUnc := math.Log(unc)
+	for i := 1; i <= nc; i++ {
+		fi := float64(i)
+		logPhi := kappa*fi*(math.Log(fi)-logUnc) + fi*logDelta
+		logTerm := math.Log(1-nu) + math.Log(fi) + logPhi
+		if logTerm < -745 { // exp underflows to 0
+			continue
+		}
+		total += math.Exp(logTerm)
+		if total >= 1 {
+			return 1
+		}
+	}
+	return total
+}
+
+// UnionBoundExact evaluates the full double-sum first-moment bound from the
+// Theorem 1 proof (Equation 1 with Lemma 4 and the multiset count
+// M(i,i1) = C(mc, i1)·C(i−1, i1−1)):
+//
+//	P(N_k > 0) ≤ Σ_{i=1}^{nc} Σ_{i1=⌈νi⌉}^{min(i, mc)} M(i,i1)·(u′nce/i)^i·(i/(u′nc))^{k·i1}
+//
+// This is O((nc)²) work; callers should keep n·c below ~20000 (the harness
+// uses it for the analytical curve in experiment E4). Clamped to [0, 1].
+func UnionBoundExact(p HomogeneousParams, m, c, k int) float64 {
+	nu := Nu(p.U, c, p.Mu)
+	if nu <= 0 {
+		return 1
+	}
+	uPrime := EffectiveUpload(p.U, c)
+	if uPrime <= 0 {
+		return 1
+	}
+	unc := uPrime * float64(p.N) * float64(c)
+	logUnc := math.Log(unc)
+	nc := p.N * c
+	mc := m * c
+
+	total := 0.0
+	for i := 1; i <= nc; i++ {
+		fi := float64(i)
+		logBase := fi * (logUnc + 1 - math.Log(fi)) // ln (u′nce/i)^i
+		logRatio := math.Log(fi) - logUnc           // ln (i/(u′nc)) < 0 for i < u′nc
+		lo := int(math.Ceil(nu * fi))
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i
+		if mc < hi {
+			hi = mc
+		}
+		for i1 := lo; i1 <= hi; i1++ {
+			logM := logBinomial(mc, i1) + logBinomial(i-1, i1-1)
+			logTerm := logM + logBase + float64(k*i1)*logRatio
+			if logTerm < -745 {
+				// Terms decrease in i1 once logRatio < 0 dominates; keep
+				// scanning (binomial term can grow first), but skip work.
+				continue
+			}
+			total += math.Exp(logTerm)
+			if total >= 1 {
+				return 1
+			}
+		}
+	}
+	return total
+}
+
+// KForTargetProbability returns the smallest k whose coarse union bound is
+// at most target. It searches upward from 1 and gives up at maxK.
+func KForTargetProbability(p HomogeneousParams, c int, target float64, maxK int) (int, bool) {
+	for k := 1; k <= maxK; k++ {
+		if UnionBoundCoarse(p, c, k) <= target {
+			return k, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 0},
+		{5, 5, 0},
+		{5, 2, math.Log(10)},
+		{10, 3, math.Log(120)},
+	}
+	for _, tc := range cases {
+		if got := logBinomial(tc.n, tc.k); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("logBinomial(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+	if !math.IsInf(logBinomial(3, 5), -1) || !math.IsInf(logBinomial(3, -1), -1) {
+		t.Error("invalid binomial should be -Inf")
+	}
+}
+
+func TestLemma3LogBound(t *testing.T) {
+	// (p/n)^{k·i1} with p=2, n=10, k=3, i1=2 → (0.2)^6.
+	got := Lemma3LogBound(2, 10, 3, 2)
+	want := 6 * math.Log(0.2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Lemma3 = %v, want %v", got, want)
+	}
+	if Lemma3LogBound(10, 10, 3, 2) != 0 {
+		t.Error("p >= n should bound by 1 (log 0)")
+	}
+	if !math.IsInf(Lemma3LogBound(0, 10, 3, 2), -1) {
+		t.Error("p=0 should be impossible")
+	}
+}
+
+func TestLemma4ZeroRegime(t *testing.T) {
+	p := params(100, 1.5, 4, 1.2)
+	c := 8
+	k := 10
+	// Very few distinct stripes relative to i: Lemma 2 regime, P = 0.
+	if got := Lemma4LogP(p, c, k, 1000, 1); !math.IsInf(got, -1) {
+		t.Errorf("concentrated multiset should be impossible, got logP=%v", got)
+	}
+	// Many distinct stripes: positive probability (finite log).
+	got := Lemma4LogP(p, c, k, 100, 90)
+	if math.IsInf(got, -1) || got > 0 {
+		t.Errorf("spread multiset logP = %v, want finite ≤ 0", got)
+	}
+}
+
+func TestLemma4DecreasesInK(t *testing.T) {
+	p := params(100, 1.5, 4, 1.2)
+	prev := 1.0
+	for _, k := range []int{2, 5, 10, 20} {
+		lp := Lemma4LogP(p, 8, k, 50, 45)
+		if lp >= prev && prev != 1.0 {
+			t.Errorf("Lemma4 bound should shrink with k: %v then %v", prev, lp)
+		}
+		prev = lp
+	}
+}
+
+func TestUnionBoundCoarseMonotoneInK(t *testing.T) {
+	p := params(200, 1.5, 4, 1.2)
+	c, err := RecommendedC(p.U, p.Mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 2.0
+	for _, k := range []int{1, 5, 20, 80, 320} {
+		b := UnionBoundCoarse(p, c, k)
+		if b < 0 || b > 1 {
+			t.Fatalf("bound %v outside [0,1]", b)
+		}
+		if b > prev+1e-12 {
+			t.Errorf("bound increased with k: %v then %v at k=%d", prev, b, k)
+		}
+		prev = b
+	}
+}
+
+func TestUnionBoundCoarseVanishes(t *testing.T) {
+	// For large enough k the bound must drop below 1 and keep falling
+	// toward 0 — that is Theorem 1's engine.
+	p := params(500, 2.0, 4, 1.1)
+	c, _ := RecommendedC(p.U, p.Mu)
+	k, ok := KForTargetProbability(p, c, 0.01, 100000)
+	if !ok {
+		t.Fatal("no k achieves bound 0.01")
+	}
+	if b := UnionBoundCoarse(p, c, k); b > 0.01 {
+		t.Errorf("bound at returned k = %v > target", b)
+	}
+	if k > 1 {
+		if b := UnionBoundCoarse(p, c, k-1); b <= 0.01 {
+			t.Errorf("k not minimal: bound at k-1 = %v", b)
+		}
+	}
+}
+
+func TestUnionBoundBelowThresholdIsVacuous(t *testing.T) {
+	p := params(200, 1.01, 4, 1.5) // ν < 0 at this c
+	if b := UnionBoundCoarse(p, 4, 100); b != 1 {
+		t.Errorf("bound below threshold should clamp to 1, got %v", b)
+	}
+}
+
+func TestUnionBoundExactSmall(t *testing.T) {
+	p := params(50, 2.0, 4, 1.1)
+	c, _ := RecommendedC(p.U, p.Mu)
+	m := 20
+	// Exact bound is within [0,1] and decreasing in k.
+	prev := 2.0
+	for _, k := range []int{1, 4, 16, 64} {
+		b := UnionBoundExact(p, m, c, k)
+		if b < 0 || b > 1 {
+			t.Fatalf("exact bound %v outside [0,1]", b)
+		}
+		if b > prev+1e-12 {
+			t.Errorf("exact bound increased with k: %v -> %v", prev, b)
+		}
+		prev = b
+	}
+}
+
+func TestExactAtMostCoarsePlusSlack(t *testing.T) {
+	// The coarse bound over-counts multisets; the exact sum should not
+	// exceed it by more than floating slack whenever both are meaningful.
+	p := params(60, 2.0, 3, 1.1)
+	c, _ := RecommendedC(p.U, p.Mu)
+	for _, k := range []int{8, 16, 32} {
+		exact := UnionBoundExact(p, 30, c, k)
+		coarse := UnionBoundCoarse(p, c, k)
+		if exact > coarse*10+1e-9 && coarse < 1 {
+			t.Errorf("k=%d: exact %v unexpectedly above coarse %v", k, exact, coarse)
+		}
+	}
+}
+
+func TestKForTargetProbabilityGivesUp(t *testing.T) {
+	p := params(200, 1.01, 4, 1.5) // hopeless at c=4
+	if _, ok := KForTargetProbability(p, 4, 0.01, 50); ok {
+		t.Error("should give up below threshold")
+	}
+}
+
+func TestUnionBoundDecreasesInN(t *testing.T) {
+	// P(N_k>0) = O(1/n^{κ-2}): growing n must not grow the bound (for
+	// fixed c, k above the threshold).
+	mu := 1.1
+	u := 2.0
+	c, _ := RecommendedC(u, mu)
+	k := 200
+	prev := 2.0
+	for _, n := range []int{100, 200, 400, 800} {
+		b := UnionBoundCoarse(params(n, u, 4, mu), c, k)
+		if b > prev+1e-12 {
+			t.Errorf("bound grew with n: %v -> %v at n=%d", prev, b, n)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,382 @@
+// Package bipartite maintains the per-round connection matching of the
+// paper's Section 2.2: unit-demand left nodes (stripe requests) are matched
+// to capacitated right nodes (boxes, capacity in stripe slots ⌊u_b·c⌋).
+//
+// The Matcher is incremental: requests persist across rounds, and each
+// round only repairs invalidated assignments and augments new or unmatched
+// requests, which is dramatically cheaper than recomputing a max flow from
+// scratch (ablated in experiment E11). When augmentation stalls, the
+// alternating-reachability set from the unmatched requests is exactly a
+// Hall violator — the paper's *obstruction* certificate (Lemma 1): a set X
+// of requests with total box capacity U_B(X) < |X|/c.
+package bipartite
+
+import "fmt"
+
+// Unassigned marks a left node with no current server.
+const Unassigned = -1
+
+// Adjacency exposes the dynamic bipartite graph. The simulator implements
+// it directly over its swarm and allocation state so that edges never need
+// to be materialized.
+type Adjacency interface {
+	// VisitServers calls fn for every right node currently able to serve
+	// left node l, stopping early if fn returns false.
+	VisitServers(left int, fn func(right int) bool)
+	// CanServe reports whether right can currently serve left.
+	CanServe(left, right int) bool
+}
+
+// Matcher holds the incremental assignment state.
+type Matcher struct {
+	caps []int64 // capacity per right node, in slots
+	load []int64 // current load per right node
+
+	assigned []int32 // left -> right, or Unassigned; -2 marks a dead slot
+	active   []bool  // left liveness
+
+	// Per-right list of assigned lefts, with back-pointers for O(1) removal.
+	rightLefts [][]int32
+	posInRight []int32
+
+	// BFS scratch.
+	visitedL   []bool
+	visitedR   []bool
+	parentLeft []int32 // for right r, the left that discovered it
+	queue      []int32
+
+	matchedCount int
+}
+
+// NewMatcher creates a matcher over numRight boxes with the given slot
+// capacities (len(caps) == numRight).
+func NewMatcher(caps []int64) *Matcher {
+	m := &Matcher{
+		caps:       append([]int64(nil), caps...),
+		load:       make([]int64, len(caps)),
+		rightLefts: make([][]int32, len(caps)),
+		visitedR:   make([]bool, len(caps)),
+		parentLeft: make([]int32, len(caps)),
+	}
+	return m
+}
+
+// NumRight returns the number of right nodes.
+func (m *Matcher) NumRight() int { return len(m.caps) }
+
+// Capacity returns the capacity of right node r.
+func (m *Matcher) Capacity(r int) int64 { return m.caps[r] }
+
+// Load returns the current load of right node r.
+func (m *Matcher) Load(r int) int64 { return m.load[r] }
+
+// MatchedCount returns the number of currently matched left nodes.
+func (m *Matcher) MatchedCount() int { return m.matchedCount }
+
+// SetCapacity adjusts the capacity of right node r. Lowering below the
+// current load unassigns arbitrary assigned lefts until feasible; the
+// victims are returned so the caller can retry them.
+func (m *Matcher) SetCapacity(r int, c int64) []int {
+	if c < 0 {
+		panic("bipartite: negative capacity")
+	}
+	m.caps[r] = c
+	var victims []int
+	for m.load[r] > c {
+		lefts := m.rightLefts[r]
+		victim := lefts[len(lefts)-1]
+		m.unassign(int(victim))
+		victims = append(victims, int(victim))
+	}
+	return victims
+}
+
+// EnsureLeft grows internal storage so left IDs up to n-1 are addressable.
+func (m *Matcher) EnsureLeft(n int) {
+	for len(m.assigned) < n {
+		m.assigned = append(m.assigned, Unassigned)
+		m.active = append(m.active, false)
+		m.posInRight = append(m.posInRight, -1)
+		m.visitedL = append(m.visitedL, false)
+	}
+}
+
+// AddLeft activates a left node (a new stripe request). The ID must be
+// dense-ish; the simulator recycles IDs through a free list.
+func (m *Matcher) AddLeft(l int) {
+	m.EnsureLeft(l + 1)
+	if m.active[l] {
+		panic(fmt.Sprintf("bipartite: AddLeft(%d) already active", l))
+	}
+	m.active[l] = true
+	m.assigned[l] = Unassigned
+}
+
+// RemoveLeft deactivates a left node, releasing its server slot.
+func (m *Matcher) RemoveLeft(l int) {
+	if !m.active[l] {
+		panic(fmt.Sprintf("bipartite: RemoveLeft(%d) not active", l))
+	}
+	if m.assigned[l] != Unassigned {
+		m.unassign(l)
+	}
+	m.active[l] = false
+}
+
+// Active reports whether left l is active.
+func (m *Matcher) Active(l int) bool { return l < len(m.active) && m.active[l] }
+
+// Server returns the right node assigned to left l, or Unassigned.
+func (m *Matcher) Server(l int) int {
+	if l >= len(m.assigned) {
+		return Unassigned
+	}
+	return int(m.assigned[l])
+}
+
+func (m *Matcher) assign(l, r int) {
+	if m.assigned[l] != Unassigned {
+		m.unassign(l)
+	}
+	m.assigned[l] = int32(r)
+	m.posInRight[l] = int32(len(m.rightLefts[r]))
+	m.rightLefts[r] = append(m.rightLefts[r], int32(l))
+	m.load[r]++
+	m.matchedCount++
+}
+
+func (m *Matcher) unassign(l int) {
+	r := m.assigned[l]
+	lefts := m.rightLefts[r]
+	pos := m.posInRight[l]
+	last := lefts[len(lefts)-1]
+	lefts[pos] = last
+	m.posInRight[last] = pos
+	m.rightLefts[r] = lefts[:len(lefts)-1]
+	m.load[r]--
+	m.assigned[l] = Unassigned
+	m.posInRight[l] = -1
+	m.matchedCount--
+}
+
+// move reassigns l from its current server to r without touching other
+// bookkeeping invariants.
+func (m *Matcher) move(l, r int) {
+	m.unassign(l)
+	m.assign(l, r)
+}
+
+// Revalidate drops every assignment whose edge has disappeared (server no
+// longer possesses the chunk, e.g. a playback cache rolled past the
+// window). Returns the number of dropped assignments.
+func (m *Matcher) Revalidate(adj Adjacency) int {
+	dropped := 0
+	for l := range m.assigned {
+		if !m.active[l] || m.assigned[l] == Unassigned {
+			continue
+		}
+		if !adj.CanServe(l, int(m.assigned[l])) {
+			m.unassign(l)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// AugmentAll drives the matching to maximum: it repeatedly attempts an
+// alternating augmenting path from every unmatched active left until a
+// full pass makes no progress (at which point no augmenting path exists
+// from the implicit super-source, so the matching is maximum). It returns
+// the remaining unmatched lefts; a non-empty result certifies a Lemma 1
+// obstruction, extractable via HallViolator.
+func (m *Matcher) AugmentAll(adj Adjacency) []int {
+	for {
+		progressed := false
+		stalled := false
+		for l := range m.assigned {
+			if m.active[l] && m.assigned[l] == Unassigned {
+				if m.augment(adj, l) {
+					progressed = true
+				} else {
+					stalled = true
+				}
+			}
+		}
+		if !stalled {
+			return nil
+		}
+		if !progressed {
+			break
+		}
+	}
+	var unmatched []int
+	for l := range m.assigned {
+		if m.active[l] && m.assigned[l] == Unassigned {
+			unmatched = append(unmatched, l)
+		}
+	}
+	return unmatched
+}
+
+// augment searches one alternating BFS tree rooted at unmatched left root
+// and applies the augmenting path if a right node with spare capacity is
+// found.
+func (m *Matcher) augment(adj Adjacency, root int) bool {
+	m.resetScratch()
+	m.queue = m.queue[:0]
+	m.queue = append(m.queue, int32(root))
+	m.visitedL[root] = true
+	// prevRight[l] is implicit: for non-root lefts it is assigned[l].
+	for head := 0; head < len(m.queue); head++ {
+		l := m.queue[head]
+		found := -1
+		adj.VisitServers(int(l), func(r int) bool {
+			if m.visitedR[r] {
+				return true
+			}
+			m.visitedR[r] = true
+			m.parentLeft[r] = l
+			if m.load[r] < m.caps[r] {
+				found = r
+				return false
+			}
+			for _, l2 := range m.rightLefts[r] {
+				if !m.visitedL[l2] {
+					m.visitedL[l2] = true
+					m.queue = append(m.queue, l2)
+				}
+			}
+			return true
+		})
+		if found >= 0 {
+			m.applyPath(found)
+			return true
+		}
+	}
+	return false
+}
+
+// applyPath walks parent pointers back from the free right node, shifting
+// assignments along the alternating path.
+func (m *Matcher) applyPath(freeRight int) {
+	r := freeRight
+	for {
+		l := int(m.parentLeft[r])
+		if m.assigned[l] == Unassigned {
+			m.assign(l, r)
+			return
+		}
+		prev := int(m.assigned[l])
+		m.move(l, r)
+		r = prev
+	}
+}
+
+func (m *Matcher) resetScratch() {
+	for i := range m.visitedL {
+		m.visitedL[i] = false
+	}
+	for i := range m.visitedR {
+		m.visitedR[i] = false
+	}
+}
+
+// Violator is a Hall-condition violation certificate: a set of requests
+// Lefts whose entire server set Rights has insufficient capacity —
+// the paper's "obstruction". Slots == Σ caps(Rights) < len(Lefts).
+type Violator struct {
+	Lefts  []int
+	Rights []int
+	Slots  int64
+}
+
+// HallViolator extracts the obstruction certificate after AugmentAll has
+// returned a non-empty unmatched set. It computes alternating reachability
+// from all unmatched lefts; the reached lefts X and rights B(X) satisfy
+// U_B(X) < |X| (in slots). Returns nil if every active left is matched.
+func (m *Matcher) HallViolator(adj Adjacency) *Violator {
+	m.resetScratch()
+	m.queue = m.queue[:0]
+	for l := range m.assigned {
+		if m.active[l] && m.assigned[l] == Unassigned {
+			m.visitedL[l] = true
+			m.queue = append(m.queue, int32(l))
+		}
+	}
+	if len(m.queue) == 0 {
+		return nil
+	}
+	for head := 0; head < len(m.queue); head++ {
+		l := m.queue[head]
+		adj.VisitServers(int(l), func(r int) bool {
+			if m.visitedR[r] {
+				return true
+			}
+			m.visitedR[r] = true
+			for _, l2 := range m.rightLefts[r] {
+				if !m.visitedL[l2] {
+					m.visitedL[l2] = true
+					m.queue = append(m.queue, l2)
+				}
+			}
+			return true
+		})
+	}
+	v := &Violator{}
+	for l, ok := range m.visitedL {
+		if ok && m.active[l] {
+			v.Lefts = append(v.Lefts, l)
+		}
+	}
+	for r, ok := range m.visitedR {
+		if ok {
+			v.Rights = append(v.Rights, r)
+			v.Slots += m.caps[r]
+		}
+	}
+	return v
+}
+
+// Verify checks internal consistency and edge validity of the current
+// matching; it returns an error describing the first violation found.
+// Tests and the simulator's paranoid mode call it.
+func (m *Matcher) Verify(adj Adjacency) error {
+	var matched int
+	loads := make([]int64, len(m.caps))
+	for l := range m.assigned {
+		if !m.active[l] {
+			if m.assigned[l] != Unassigned {
+				return fmt.Errorf("inactive left %d has assignment %d", l, m.assigned[l])
+			}
+			continue
+		}
+		r := m.assigned[l]
+		if r == Unassigned {
+			continue
+		}
+		matched++
+		loads[r]++
+		if !adj.CanServe(l, int(r)) {
+			return fmt.Errorf("assignment %d->%d has no edge", l, r)
+		}
+		if m.posInRight[l] < 0 || int(m.posInRight[l]) >= len(m.rightLefts[r]) ||
+			m.rightLefts[r][m.posInRight[l]] != int32(l) {
+			return fmt.Errorf("back-pointer corrupt for left %d", l)
+		}
+	}
+	if matched != m.matchedCount {
+		return fmt.Errorf("matchedCount=%d, actual=%d", m.matchedCount, matched)
+	}
+	for r := range m.caps {
+		if loads[r] != m.load[r] {
+			return fmt.Errorf("right %d load=%d, actual=%d", r, m.load[r], loads[r])
+		}
+		if loads[r] > m.caps[r] {
+			return fmt.Errorf("right %d over capacity: %d > %d", r, loads[r], m.caps[r])
+		}
+		if int64(len(m.rightLefts[r])) != loads[r] {
+			return fmt.Errorf("right %d list length %d != load %d", r, len(m.rightLefts[r]), loads[r])
+		}
+	}
+	return nil
+}

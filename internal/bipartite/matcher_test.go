@@ -1,0 +1,410 @@
+package bipartite
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/maxflow"
+	"repro/internal/stats"
+)
+
+// listAdj is an explicit adjacency-list implementation for tests.
+type listAdj struct {
+	neighbors map[int][]int
+}
+
+func newListAdj() *listAdj { return &listAdj{neighbors: make(map[int][]int)} }
+
+func (a *listAdj) add(l int, rs ...int) { a.neighbors[l] = append(a.neighbors[l], rs...) }
+
+func (a *listAdj) VisitServers(l int, fn func(int) bool) {
+	for _, r := range a.neighbors[l] {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+func (a *listAdj) CanServe(l, r int) bool {
+	for _, x := range a.neighbors[l] {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSimpleMatch(t *testing.T) {
+	m := NewMatcher([]int64{1, 1})
+	adj := newListAdj()
+	adj.add(0, 0)
+	adj.add(1, 0, 1)
+	m.AddLeft(0)
+	m.AddLeft(1)
+	if un := m.AugmentAll(adj); un != nil {
+		t.Fatalf("unmatched: %v", un)
+	}
+	if m.MatchedCount() != 2 {
+		t.Fatalf("matched %d, want 2", m.MatchedCount())
+	}
+	if err := m.Verify(adj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassignmentNeeded(t *testing.T) {
+	// Left 0 greedily takes right 0; left 1 can only use right 0, forcing a
+	// reassignment of left 0 to right 1.
+	m := NewMatcher([]int64{1, 1})
+	adj := newListAdj()
+	adj.add(0, 0, 1)
+	adj.add(1, 0)
+	m.AddLeft(0)
+	if m.AugmentAll(adj) != nil {
+		t.Fatal("left 0 should match")
+	}
+	m.AddLeft(1)
+	if un := m.AugmentAll(adj); un != nil {
+		t.Fatalf("augment failed to reassign: unmatched %v", un)
+	}
+	if m.Server(1) != 0 || m.Server(0) != 1 {
+		t.Errorf("servers: left0->%d left1->%d", m.Server(0), m.Server(1))
+	}
+	if err := m.Verify(adj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacitatedRight(t *testing.T) {
+	m := NewMatcher([]int64{3})
+	adj := newListAdj()
+	for l := 0; l < 4; l++ {
+		adj.add(l, 0)
+		m.AddLeft(l)
+	}
+	un := m.AugmentAll(adj)
+	if len(un) != 1 {
+		t.Fatalf("unmatched = %v, want exactly 1", un)
+	}
+	if m.MatchedCount() != 3 || m.Load(0) != 3 {
+		t.Fatalf("matched=%d load=%d", m.MatchedCount(), m.Load(0))
+	}
+	v := m.HallViolator(adj)
+	if v == nil {
+		t.Fatal("expected a violator")
+	}
+	if int64(len(v.Lefts)) <= v.Slots {
+		t.Fatalf("certificate invalid: |X|=%d slots=%d", len(v.Lefts), v.Slots)
+	}
+}
+
+func TestRemoveLeftFreesCapacity(t *testing.T) {
+	m := NewMatcher([]int64{1})
+	adj := newListAdj()
+	adj.add(0, 0)
+	adj.add(1, 0)
+	m.AddLeft(0)
+	m.AddLeft(1)
+	un := m.AugmentAll(adj)
+	if len(un) != 1 {
+		t.Fatalf("want 1 unmatched, got %v", un)
+	}
+	matchedLeft := 0
+	if m.Server(0) == Unassigned {
+		matchedLeft = 1
+	}
+	m.RemoveLeft(matchedLeft)
+	if un := m.AugmentAll(adj); un != nil {
+		t.Fatalf("freed slot not reused: %v", un)
+	}
+	if err := m.Verify(adj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevalidateDropsDeadEdges(t *testing.T) {
+	m := NewMatcher([]int64{1, 1})
+	adj := newListAdj()
+	adj.add(0, 0)
+	adj.add(1, 1)
+	m.AddLeft(0)
+	m.AddLeft(1)
+	if m.AugmentAll(adj) != nil {
+		t.Fatal("initial match failed")
+	}
+	// Edge (0,0) disappears; 0 can now reach only right 1.
+	adj.neighbors[0] = []int{1}
+	if dropped := m.Revalidate(adj); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if m.Server(0) != Unassigned {
+		t.Fatal("assignment should have been dropped")
+	}
+	// Right 1 is taken by left 1; left 1 has no alternative, so left 0 stays
+	// unmatched — capacity conflict.
+	if un := m.AugmentAll(adj); len(un) != 1 {
+		t.Fatalf("unmatched = %v, want 1", un)
+	}
+}
+
+func TestSetCapacityEviction(t *testing.T) {
+	m := NewMatcher([]int64{2})
+	adj := newListAdj()
+	adj.add(0, 0)
+	adj.add(1, 0)
+	m.AddLeft(0)
+	m.AddLeft(1)
+	if m.AugmentAll(adj) != nil {
+		t.Fatal("initial match failed")
+	}
+	victims := m.SetCapacity(0, 1)
+	if len(victims) != 1 {
+		t.Fatalf("victims = %v, want 1", victims)
+	}
+	if m.Load(0) != 1 || m.Capacity(0) != 1 {
+		t.Fatalf("load=%d cap=%d", m.Load(0), m.Capacity(0))
+	}
+	if err := m.Verify(adj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddLeftTwicePanics(t *testing.T) {
+	m := NewMatcher([]int64{1})
+	m.AddLeft(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.AddLeft(0)
+}
+
+func TestRemoveInactivePanics(t *testing.T) {
+	m := NewMatcher([]int64{1})
+	m.EnsureLeft(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.RemoveLeft(0)
+}
+
+func TestHallViolatorNilWhenMatched(t *testing.T) {
+	m := NewMatcher([]int64{1})
+	adj := newListAdj()
+	adj.add(0, 0)
+	m.AddLeft(0)
+	m.AugmentAll(adj)
+	if v := m.HallViolator(adj); v != nil {
+		t.Fatalf("expected nil violator, got %+v", v)
+	}
+}
+
+func TestGreedySuboptimal(t *testing.T) {
+	// Greedy strands left 1 but the optimal matching serves both: the gap
+	// that justifies augmenting paths.
+	adj := newListAdj()
+	adj.add(0, 0, 1)
+	adj.add(1, 0)
+	g := NewGreedy([]int64{1, 1})
+	_, matched := g.Match(adj, []int{0, 1})
+	if matched != 1 {
+		t.Fatalf("greedy matched %d, want 1 (the suboptimal outcome)", matched)
+	}
+	g.Reset()
+	_, matched = g.Match(adj, []int{1, 0})
+	if matched != 2 {
+		t.Fatalf("greedy with lucky order matched %d, want 2", matched)
+	}
+}
+
+// optimalViaMaxflow computes the true maximum matching size with Dinic.
+func optimalViaMaxflow(adj *listAdj, lefts []int, caps []int64) int64 {
+	n := len(lefts)
+	r := len(caps)
+	g := maxflow.NewNetwork(2 + n + r)
+	src, sink := 0, 1
+	for i, l := range lefts {
+		g.AddEdge(src, 2+i, 1)
+		for _, rr := range adj.neighbors[l] {
+			g.AddEdge(2+i, 2+n+rr, 1)
+		}
+	}
+	for j, c := range caps {
+		g.AddEdge(2+n+j, sink, c)
+	}
+	var d maxflow.Dinic
+	return d.MaxFlow(g, src, sink)
+}
+
+func randomInstance(rng *stats.RNG) (*listAdj, []int, []int64) {
+	nl := 1 + rng.Intn(12)
+	nr := 1 + rng.Intn(6)
+	caps := make([]int64, nr)
+	for i := range caps {
+		caps[i] = int64(rng.Intn(3))
+	}
+	adj := newListAdj()
+	lefts := make([]int, nl)
+	for l := 0; l < nl; l++ {
+		lefts[l] = l
+		for r := 0; r < nr; r++ {
+			if rng.Bool(0.4) {
+				adj.add(l, r)
+			}
+		}
+	}
+	return adj, lefts, caps
+}
+
+// Property: the incremental matcher reaches the max-flow optimum.
+func TestQuickMatcherIsOptimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		adj, lefts, caps := randomInstance(rng)
+		m := NewMatcher(caps)
+		for _, l := range lefts {
+			m.AddLeft(l)
+		}
+		m.AugmentAll(adj)
+		if err := m.Verify(adj); err != nil {
+			return false
+		}
+		return int64(m.MatchedCount()) == optimalViaMaxflow(adj, lefts, caps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: incremental arrival order does not change the matching size.
+func TestQuickIncrementalEqualsBatch(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		adj, lefts, caps := randomInstance(rng)
+
+		batch := NewMatcher(caps)
+		for _, l := range lefts {
+			batch.AddLeft(l)
+		}
+		batch.AugmentAll(adj)
+
+		inc := NewMatcher(caps)
+		for _, l := range lefts {
+			inc.AddLeft(l)
+			inc.AugmentAll(adj) // augment after every single arrival
+		}
+		return inc.MatchedCount() == batch.MatchedCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: departures then re-augmentation stays optimal.
+func TestQuickDeparturesStayOptimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		adj, lefts, caps := randomInstance(rng)
+		m := NewMatcher(caps)
+		for _, l := range lefts {
+			m.AddLeft(l)
+		}
+		m.AugmentAll(adj)
+		// Remove a random subset.
+		var remaining []int
+		for _, l := range lefts {
+			if rng.Bool(0.4) {
+				m.RemoveLeft(l)
+			} else {
+				remaining = append(remaining, l)
+			}
+		}
+		m.AugmentAll(adj)
+		if err := m.Verify(adj); err != nil {
+			return false
+		}
+		return int64(m.MatchedCount()) == optimalViaMaxflow(adj, remaining, caps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: when requests go unmatched, the extracted Hall violator is a
+// genuine certificate: every server of every left in X is inside Rights,
+// and capacity is insufficient.
+func TestQuickHallCertificate(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		adj, lefts, caps := randomInstance(rng)
+		m := NewMatcher(caps)
+		for _, l := range lefts {
+			m.AddLeft(l)
+		}
+		un := m.AugmentAll(adj)
+		v := m.HallViolator(adj)
+		if len(un) == 0 {
+			return v == nil
+		}
+		if v == nil {
+			return false
+		}
+		inRights := make(map[int]bool)
+		for _, r := range v.Rights {
+			inRights[r] = true
+		}
+		var slots int64
+		for _, r := range v.Rights {
+			slots += caps[r]
+		}
+		if slots != v.Slots {
+			return false
+		}
+		for _, l := range v.Lefts {
+			for _, r := range adj.neighbors[l] {
+				if !inRights[r] {
+					return false // B(X) escapes the certificate
+				}
+			}
+		}
+		return int64(len(v.Lefts)) > v.Slots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: greedy never beats the optimal matcher.
+func TestQuickGreedyNeverBeatsOptimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		adj, lefts, caps := randomInstance(rng)
+		g := NewGreedy(caps)
+		_, greedyMatched := g.Match(adj, lefts)
+		m := NewMatcher(caps)
+		for _, l := range lefts {
+			m.AddLeft(l)
+		}
+		m.AugmentAll(adj)
+		return greedyMatched <= m.MatchedCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	m := NewMatcher([]int64{1})
+	adj := newListAdj()
+	adj.add(0, 0)
+	m.AddLeft(0)
+	m.AugmentAll(adj)
+	// Corrupt: claim the edge is gone.
+	adj.neighbors[0] = nil
+	if err := m.Verify(adj); err == nil {
+		t.Fatal("Verify should detect missing edge")
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/video"
+)
+
+// StepResult reports what happened during one round.
+type StepResult struct {
+	Round       int
+	Demanded    int
+	Admitted    int
+	RejectedBusy int
+	RejectedSwarm int
+	Matched     int
+	Unmatched   int
+	Obstruction *Obstruction // nil when all requests were served
+}
+
+// Step simulates one round: expiry, scheduled request issuance, demand
+// admission, connection matching, obstruction handling, and progress.
+func (s *System) Step(gen Generator) (StepResult, error) {
+	if s.failed {
+		return StepResult{}, fmt.Errorf("core: system already failed at round %d", s.metrics.failRound)
+	}
+	s.round++
+	res := StepResult{Round: s.round}
+	s.tracker.BeginRound(s.round)
+	s.pruneEntries()
+
+	// Retire completed requests (progress reached T).
+	for slot := range s.reqActive {
+		if s.reqActive[slot] && s.reqProgress[slot] >= int32(s.cat.T) {
+			s.retireRequest(int32(slot))
+		}
+	}
+
+	// Issue scheduled requests due this round.
+	keep := s.pending[:0]
+	for _, iss := range s.pending {
+		if iss.round == s.round {
+			s.issueRequest(iss.stripe, iss.requester, iss.viewer, iss.mirror)
+		} else {
+			keep = append(keep, iss)
+		}
+	}
+	s.pending = keep
+
+	// Admission.
+	if gen != nil {
+		for _, d := range gen.Next(s.View(), s.round) {
+			res.Demanded++
+			switch s.admit(d) {
+			case admitOK:
+				res.Admitted++
+			case admitBusy:
+				res.RejectedBusy++
+				s.metrics.rejectedBusy++
+			case admitSwarmFull:
+				res.RejectedSwarm++
+				s.metrics.rejectedSwarm++
+			}
+		}
+	}
+	s.metrics.demands += int64(res.Demanded)
+	s.metrics.admitted += int64(res.Admitted)
+
+	// Connection matching (Lemma 1).
+	adj := adjacency{s}
+	s.matcher.Revalidate(adj)
+	unmatched := s.matcher.AugmentAll(adj)
+	res.Matched = s.matcher.MatchedCount()
+	res.Unmatched = len(unmatched)
+
+	if len(unmatched) > 0 {
+		res.Obstruction = s.recordObstruction(adj)
+		if s.cfg.Failure == FailStop {
+			s.failed = true
+			s.metrics.failRound = s.round
+			return res, nil
+		}
+		s.metrics.stalls += int64(len(unmatched))
+	}
+
+	// Verify while edges still reflect matching-time possession; the
+	// progress update below legitimately stales edges for the next round
+	// (Revalidate repairs them at the top of the next Step).
+	if s.cfg.Paranoid {
+		if err := s.matcher.Verify(adj); err != nil {
+			return res, fmt.Errorf("core: round %d matcher corrupt: %w", s.round, err)
+		}
+	}
+
+	// Matched requests advance one chunk.
+	for slot := range s.reqActive {
+		if s.reqActive[slot] && s.matcher.Server(slot) != -1 {
+			s.reqProgress[slot]++
+		}
+	}
+
+	s.metrics.observeRound(s, res)
+	return res, nil
+}
+
+type admitCode int
+
+const (
+	admitOK admitCode = iota
+	admitBusy
+	admitSwarmFull
+)
+
+// admit processes one demand: swarm-growth admission control, round-robin
+// preload stripe selection, and strategy-specific request scheduling.
+func (s *System) admit(d Demand) admitCode {
+	if d.Box < 0 || d.Box >= s.n {
+		panic(fmt.Sprintf("core: demand for unknown box %d", d.Box))
+	}
+	if d.Video < 0 || int(d.Video) >= s.cat.M {
+		panic(fmt.Sprintf("core: demand for unknown video %d", d.Video))
+	}
+	if s.busy[d.Box] || s.outstanding[d.Box] > 0 {
+		return admitBusy
+	}
+	if s.tracker.Allowance(d.Video) <= 0 {
+		return admitSwarmFull
+	}
+	preloadIdx, err := s.tracker.Enter(d.Video, s.cat.C)
+	if err != nil {
+		return admitSwarmFull
+	}
+
+	born := d.Born
+	if born <= 0 {
+		born = s.round
+	}
+	b := int32(d.Box)
+	var planned int
+	switch s.cfg.Strategy {
+	case StrategyPreload:
+		planned = s.planHomogeneous(b, d.Video, preloadIdx, 1)
+		s.metrics.recordStartup(float64(s.round-born) + 3)
+	case StrategyNaive:
+		planned = s.planHomogeneous(b, d.Video, preloadIdx, 0)
+		s.metrics.recordStartup(float64(s.round-born) + 2)
+	case StrategyRelayed:
+		if s.cfg.Uploads[d.Box] < s.cfg.UStar {
+			planned = s.planRelayedPoor(b, d.Video, preloadIdx)
+			s.metrics.recordStartup(float64(s.round-born) + 6)
+		} else {
+			planned = s.planRelayedRich(b, d.Video, preloadIdx)
+			s.metrics.recordStartup(float64(s.round-born) + 4)
+		}
+	}
+
+	s.outstanding[d.Box] = int32(planned)
+	if planned > 0 {
+		s.busy[d.Box] = true
+	} else {
+		// Everything available locally: an instant viewing.
+		s.metrics.completedViewings++
+	}
+	return admitOK
+}
+
+// planHomogeneous issues the preload stripe now and the rest after
+// postponeDelay rounds (Section 3; delay 0 is the naive ablation).
+// It returns the number of requests planned.
+func (s *System) planHomogeneous(b int32, v video.ID, preloadIdx, postponeDelay int) int {
+	planned := 0
+	for i := 0; i < s.cat.C; i++ {
+		st := s.cat.Stripe(v, i)
+		if s.selfPossesses(b, st) {
+			s.metrics.skippedSelf++
+			continue
+		}
+		planned++
+		if i == preloadIdx {
+			s.metrics.preloadReqs++
+		} else {
+			s.metrics.postponedReqs++
+		}
+		if i == preloadIdx || postponeDelay == 0 {
+			s.issueRequest(st, b, b, -1)
+		} else {
+			s.pending = append(s.pending, issuance{
+				round: s.round + postponeDelay, stripe: st, requester: b, viewer: b, mirror: -1})
+		}
+	}
+	return planned
+}
+
+// planRelayedRich is the Section 4 strategy for a rich box's own demand:
+// preload now, postponed requests at t+2 (doubled time scale).
+func (s *System) planRelayedRich(b int32, v video.ID, preloadIdx int) int {
+	planned := 0
+	for i := 0; i < s.cat.C; i++ {
+		st := s.cat.Stripe(v, i)
+		if s.selfPossesses(b, st) {
+			s.metrics.skippedSelf++
+			continue
+		}
+		planned++
+		if i == preloadIdx {
+			s.metrics.preloadReqs++
+			s.issueRequest(st, b, b, -1)
+		} else {
+			s.metrics.postponedReqs++
+			s.pending = append(s.pending, issuance{
+				round: s.round + 2, stripe: st, requester: b, viewer: b, mirror: -1})
+		}
+	}
+	return planned
+}
+
+// planRelayedPoor is the Section 4 strategy for a poor box b: the relay
+// issues the preload request at t and forwards (mirror lag 1); b issues
+// c_b direct postponed requests at t+2; the relay issues the remaining
+// postponed requests at t+3 and forwards those too.
+func (s *System) planRelayedPoor(b int32, v video.ID, preloadIdx int) int {
+	r := int32(s.cfg.Relays[b])
+	cb := directStripeCount(s.cfg.Uploads[b], s.cat.C, s.cfg.Mu)
+	planned := 0
+	direct := 0
+	for i := 0; i < s.cat.C; i++ {
+		st := s.cat.Stripe(v, i)
+		if s.selfPossesses(b, st) {
+			s.metrics.skippedSelf++
+			continue // viewer plays it locally
+		}
+		if i == preloadIdx {
+			if s.cfg.Alloc.Stores(int(r), st) {
+				s.metrics.skippedSelf++
+				continue // relay forwards from its own storage: no request
+			}
+			planned++
+			s.metrics.preloadReqs++
+			s.metrics.relayedReqs++
+			s.issueRequest(st, r, b, b)
+			continue
+		}
+		if direct < cb {
+			direct++
+			planned++
+			s.metrics.postponedReqs++
+			s.pending = append(s.pending, issuance{
+				round: s.round + 2, stripe: st, requester: b, viewer: b, mirror: -1})
+			continue
+		}
+		if s.cfg.Alloc.Stores(int(r), st) {
+			s.metrics.skippedSelf++
+			continue // relay forwards from its own storage
+		}
+		planned++
+		s.metrics.relayedReqs++
+		s.pending = append(s.pending, issuance{
+			round: s.round + 3, stripe: st, requester: r, viewer: b, mirror: b})
+	}
+	return planned
+}
+
+// recordObstruction extracts and records the Hall-violator certificate.
+func (s *System) recordObstruction(adj adjacency) *Obstruction {
+	v := s.matcher.HallViolator(adj)
+	if v == nil {
+		return nil
+	}
+	distinct := make(map[video.StripeID]struct{})
+	for _, l := range v.Lefts {
+		distinct[s.reqStripe[l]] = struct{}{}
+	}
+	ob := &Obstruction{
+		Round:           s.round,
+		Requests:        len(v.Lefts),
+		DistinctStripes: len(distinct),
+		Boxes:           len(v.Rights),
+		Slots:           v.Slots,
+	}
+	s.metrics.obstructions = append(s.metrics.obstructions, *ob)
+	return ob
+}
+
+// Run simulates rounds rounds (or until a FailStop obstruction) and
+// returns the aggregate report.
+func (s *System) Run(gen Generator, rounds int) (Report, error) {
+	for i := 0; i < rounds && !s.failed; i++ {
+		if _, err := s.Step(gen); err != nil {
+			return s.Report(), err
+		}
+	}
+	return s.Report(), nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/allocation"
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+// buildRelayedSmall assembles a minimal relayed system inside the core
+// package so the Section 4 code paths are covered here too (the richer
+// integration suite lives in package hetero).
+func buildRelayedSmall(t *testing.T, uPoor float64) *System {
+	t.Helper()
+	const n = 6
+	const c, T, k = 25, 30, 2
+	uploads := []float64{uPoor, uPoor, 3.0, 3.0, 3.0, 3.0}
+	storage := make([]int, n)
+	total := 0
+	for i := range storage {
+		storage[i] = int(uploads[i] * 2 * float64(c))
+		total += storage[i]
+	}
+	m := total / (k * c)
+	excess := total - m*k*c
+	for b := range storage {
+		take := excess
+		if take > storage[b]/2 {
+			take = storage[b] / 2
+		}
+		storage[b] -= take
+		excess -= take
+		if excess == 0 {
+			break
+		}
+	}
+	cat := video.MustCatalog(m, c, T)
+	alloc, err := allocation.Permutation(stats.NewRNG(11), cat, storage, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{
+		Alloc:    alloc,
+		Uploads:  uploads,
+		Mu:       1.05,
+		Strategy: StrategyRelayed,
+		UStar:    1.5,
+		Relays:   []int{2, 3, NoRelay, NoRelay, NoRelay, NoRelay},
+		Paranoid: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRelayedPoorViewingLifecycle(t *testing.T) {
+	sys := buildRelayedSmall(t, 0.5)
+	gen := &scripted{byRound: map[int][]Demand{1: {{Box: 0, Video: 0}}}}
+	rep, err := sys.Run(gen, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("relayed poor viewing failed: %+v", rep.Obstructions)
+	}
+	if rep.CompletedViewings != 1 {
+		t.Fatalf("completed = %d", rep.CompletedViewings)
+	}
+	if rep.StartupDelay.Mean != 6 {
+		t.Errorf("poor relayed delay = %v, want 6", rep.StartupDelay.Mean)
+	}
+	// c_b = ⌊0.5·25 − 4·1.05⁴⌋ = ⌊7.64⌋ = 7 direct postponed requests.
+	if rep.PostponedRequests == 0 {
+		t.Error("no direct postponed requests despite c_b > 0")
+	}
+	if rep.RelayedRequests == 0 {
+		t.Error("no relayed requests")
+	}
+}
+
+func TestRelayedTinyUploadAllViaRelay(t *testing.T) {
+	// u_b so small that c_b = 0: every postponed stripe goes via the relay.
+	sys := buildRelayedSmall(t, 0.1)
+	gen := &scripted{byRound: map[int][]Demand{1: {{Box: 0, Video: 0}}}}
+	rep, err := sys.Run(gen, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("tiny-upload viewing failed: %+v", rep.Obstructions)
+	}
+	if rep.PostponedRequests != 0 {
+		t.Errorf("c_b should be 0, got %d direct requests", rep.PostponedRequests)
+	}
+	if rep.RelayedRequests == 0 {
+		t.Error("no relayed requests")
+	}
+}
+
+func TestRelayedRichViewingLifecycle(t *testing.T) {
+	sys := buildRelayedSmall(t, 0.5)
+	gen := &scripted{byRound: map[int][]Demand{1: {{Box: 2, Video: 0}}}}
+	rep, err := sys.Run(gen, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed || rep.CompletedViewings != 1 {
+		t.Fatalf("rich relayed-mode viewing wrong: %+v", rep)
+	}
+	if rep.StartupDelay.Mean != 4 {
+		t.Errorf("rich relayed delay = %v, want 4", rep.StartupDelay.Mean)
+	}
+	if rep.RelayedRequests != 0 {
+		t.Errorf("rich box should not relay, got %d", rep.RelayedRequests)
+	}
+}
+
+func TestStrategyAndPolicyStrings(t *testing.T) {
+	cases := map[string]string{
+		StrategyPreload.String():  "preload",
+		StrategyNaive.String():    "naive",
+		StrategyRelayed.String():  "relayed",
+		Strategy(42).String():     "strategy(42)",
+		FailStop.String():         "stop",
+		FailStall.String():        "stall",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := buildHomogeneous(t, 30, 12, 2, 3, 10, 4, 2.0, 1.5, nil)
+	if sys.Round() != 0 {
+		t.Errorf("fresh Round = %d", sys.Round())
+	}
+	if sys.NumBoxes() != 12 {
+		t.Errorf("NumBoxes = %d", sys.NumBoxes())
+	}
+	if sys.Catalog().C != 3 {
+		t.Errorf("Catalog = %v", sys.Catalog())
+	}
+	if !strings.Contains(sys.String(), "system{") {
+		t.Errorf("String = %q", sys.String())
+	}
+	v := sys.View()
+	if v.Round() != 0 {
+		t.Errorf("view Round = %d", v.Round())
+	}
+	if v.SwarmSize(0) != 0 {
+		t.Errorf("fresh SwarmSize = %d", v.SwarmSize(0))
+	}
+	if sys.TotalSlots() != 12*6 {
+		t.Errorf("TotalSlots = %d", sys.TotalSlots())
+	}
+}
+
+func TestDirectStripeCountClamps(t *testing.T) {
+	// ⌊c·u − 4µ⁴⌋ clamped to [0, c−1].
+	if got := directStripeCount(0.01, 10, 1.5); got != 0 {
+		t.Errorf("tiny u: c_b = %d", got)
+	}
+	if got := directStripeCount(5.0, 10, 1.0); got != 9 {
+		t.Errorf("huge u: c_b = %d, want c−1 = 9", got)
+	}
+	// Middle: u=0.5, c=25, µ=1.05: ⌊12.5 − 4.86⌋ = 7.
+	if got := directStripeCount(0.5, 25, 1.05); got != 7 {
+		t.Errorf("c_b = %d, want 7", got)
+	}
+}
+
+func TestDemandPanicsOnInvalidInput(t *testing.T) {
+	for i, d := range []Demand{
+		{Box: -1, Video: 0},
+		{Box: 99, Video: 0},
+		{Box: 0, Video: -1},
+		{Box: 0, Video: 9999},
+	} {
+		sys := buildHomogeneous(t, 31, 12, 2, 3, 10, 4, 2.0, 1.5, nil)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			gen := &scripted{byRound: map[int][]Demand{1: {d}}}
+			_, _ = sys.Run(gen, 1)
+		}()
+	}
+}
+
+func TestRunStopsEarlyOnFailure(t *testing.T) {
+	const n, d, c, T, k = 10, 1, 4, 12, 1
+	sys := buildHomogeneous(t, 8, n, d, c, T, k, 0.5, 2.0, nil)
+	rep, err := sys.Run(genAvoidStored{}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Fatal("expected failure")
+	}
+	if rep.Rounds >= 1000 {
+		t.Errorf("Run did not stop early: %d rounds", rep.Rounds)
+	}
+}

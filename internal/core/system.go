@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/swarm"
+	"repro/internal/video"
+)
+
+// entry is a playback-cache record: box started receiving the stripe at
+// round start and can serve chunk p to any request that is at least one
+// chunk behind it, as long as the window t−T ≤ start holds (enforced by
+// pruning). A forwarded copy (relay → poor box) trails its backing request
+// by lag rounds.
+type entry struct {
+	box    int32
+	start  int32
+	req    int32 // backing request slot, or -1 once frozen
+	lag    int32
+	frozen int32 // progress at freeze time (valid when req == -1)
+}
+
+// issuance is a scheduled future request.
+type issuance struct {
+	round     int
+	stripe    video.StripeID
+	requester int32
+	viewer    int32
+	mirror    int32 // box receiving a forwarded copy (lag 1), or -1
+}
+
+// System is a runnable instance of the paper's video system.
+type System struct {
+	cfg     Config
+	cat     video.Catalog
+	n       int
+	caps    []int64
+	matcher *bipartite.Matcher
+	tracker *swarm.Tracker
+	round   int
+	failed  bool
+
+	// Request slot arrays (index = matcher left ID).
+	reqStripe   []video.StripeID
+	reqStart    []int32
+	reqBox      []int32 // downloader (the relay for relayed requests)
+	reqViewer   []int32 // box whose playback depends on this request
+	reqProgress []int32
+	reqActive   []bool
+	freeSlots   []int32
+	activeReqs  int
+
+	entries [][]entry // per stripe, ordered by start
+
+	outstanding []int32 // per viewer box: unfinished requests + pending issuances
+	busy        []bool
+
+	pending []issuance // future scheduled requests (small, scanned per round)
+
+	metrics runMetrics
+}
+
+// NewSystem validates the configuration and builds the system.
+func NewSystem(cfg Config) (*System, error) {
+	caps, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	cat := cfg.Alloc.Catalog()
+	n := cfg.Alloc.NumBoxes()
+	s := &System{
+		cfg:          cfg,
+		cat:          cat,
+		n:            n,
+		caps:         caps,
+		matcher:      bipartite.NewMatcher(caps),
+		tracker:      swarm.NewTracker(cat.M, cat.T, cfg.Mu),
+		entries:      make([][]entry, cat.NumStripes()),
+		outstanding: make([]int32, n),
+		busy:        make([]bool, n),
+	}
+	s.metrics.init(n)
+	return s, nil
+}
+
+// Round returns the last simulated round. Rounds are 1-based — a demand
+// arriving "during [t−1, t)" is admitted at round t ≥ 1 — so Round is 0
+// before the first Step.
+func (s *System) Round() int { return s.round }
+
+// Failed reports whether a FailStop obstruction has occurred.
+func (s *System) Failed() bool { return s.failed }
+
+// Catalog returns the system's catalog.
+func (s *System) Catalog() video.Catalog { return s.cat }
+
+// NumBoxes returns the number of boxes.
+func (s *System) NumBoxes() int { return s.n }
+
+// TotalSlots returns the total matcher capacity in stripe slots.
+func (s *System) TotalSlots() int64 {
+	var t int64
+	for _, c := range s.caps {
+		t += c
+	}
+	return t
+}
+
+// allocSlot takes a request slot from the free list or grows the arrays.
+func (s *System) allocSlot() int32 {
+	if len(s.freeSlots) > 0 {
+		slot := s.freeSlots[len(s.freeSlots)-1]
+		s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+		return slot
+	}
+	slot := int32(len(s.reqStripe))
+	s.reqStripe = append(s.reqStripe, 0)
+	s.reqStart = append(s.reqStart, 0)
+	s.reqBox = append(s.reqBox, 0)
+	s.reqViewer = append(s.reqViewer, 0)
+	s.reqProgress = append(s.reqProgress, 0)
+	s.reqActive = append(s.reqActive, false)
+	return slot
+}
+
+// issueRequest creates an active request and its cache entries.
+func (s *System) issueRequest(stripe video.StripeID, requester, viewer, mirror int32) {
+	slot := s.allocSlot()
+	s.reqStripe[slot] = stripe
+	s.reqStart[slot] = int32(s.round)
+	s.reqBox[slot] = requester
+	s.reqViewer[slot] = viewer
+	s.reqProgress[slot] = 0
+	s.reqActive[slot] = true
+	s.activeReqs++
+	s.matcher.AddLeft(int(slot))
+	if !s.cfg.DisableCacheServing {
+		s.entries[stripe] = append(s.entries[stripe], entry{box: requester, start: int32(s.round), req: slot})
+		if mirror >= 0 {
+			s.entries[stripe] = append(s.entries[stripe],
+				entry{box: mirror, start: int32(s.round + 1), req: slot, lag: 1})
+		}
+	}
+	if s.activeReqs > s.metrics.peakRequests {
+		s.metrics.peakRequests = s.activeReqs
+	}
+}
+
+// retireRequest completes a request: frees the slot, freezes its cache
+// entries, and releases the viewer when its last request finishes.
+func (s *System) retireRequest(slot int32) {
+	stripe := s.reqStripe[slot]
+	// Freeze cache entries backed by this request at their final progress.
+	for i := range s.entries[stripe] {
+		e := &s.entries[stripe][i]
+		if e.req == slot {
+			e.frozen = s.reqProgress[slot] - e.lag
+			e.req = -1
+		}
+	}
+	s.matcher.RemoveLeft(int(slot))
+	s.reqActive[slot] = false
+	s.activeReqs--
+	s.freeSlots = append(s.freeSlots, slot)
+	s.finishOne(s.reqViewer[slot])
+}
+
+// finishOne decrements a viewer's outstanding work and frees the box when
+// everything (requests and scheduled issuances) has completed.
+func (s *System) finishOne(viewer int32) {
+	s.outstanding[viewer]--
+	if s.outstanding[viewer] == 0 && s.busy[viewer] {
+		s.busy[viewer] = false
+		s.metrics.completedViewings++
+	}
+}
+
+// entryProgress returns how many chunks the entry's box has of the stripe.
+func (s *System) entryProgress(e *entry) int32 {
+	if e.req >= 0 {
+		p := s.reqProgress[e.req] - e.lag
+		if p < 0 {
+			return 0
+		}
+		return p
+	}
+	return e.frozen
+}
+
+// adjacency implements bipartite.Adjacency over the allocation and the
+// playback caches — the graph G of Section 2.2.
+type adjacency struct{ s *System }
+
+// VisitServers enumerates B(x): allocation boxes first (they hold the full
+// stripe), then swarm predecessors with enough progress.
+func (a adjacency) VisitServers(left int, fn func(right int) bool) {
+	s := a.s
+	slot := int32(left)
+	stripe := s.reqStripe[slot]
+	requester := s.reqBox[slot]
+	for _, b := range s.cfg.Alloc.ByStripe[stripe] {
+		if b != requester {
+			if !fn(int(b)) {
+				return
+			}
+		}
+	}
+	if s.cfg.DisableCacheServing {
+		return
+	}
+	need := s.reqProgress[slot]
+	for i := range s.entries[stripe] {
+		e := &s.entries[stripe][i]
+		if e.box != requester && s.entryProgress(e) > need {
+			if !fn(int(e.box)) {
+				return
+			}
+		}
+	}
+}
+
+// CanServe mirrors VisitServers for a single candidate.
+func (a adjacency) CanServe(left, right int) bool {
+	s := a.s
+	slot := int32(left)
+	stripe := s.reqStripe[slot]
+	requester := s.reqBox[slot]
+	if int32(right) == requester {
+		return false
+	}
+	for _, b := range s.cfg.Alloc.ByStripe[stripe] {
+		if int(b) == right {
+			return true
+		}
+	}
+	if s.cfg.DisableCacheServing {
+		return false
+	}
+	need := s.reqProgress[slot]
+	for i := range s.entries[stripe] {
+		e := &s.entries[stripe][i]
+		if int(e.box) == right && s.entryProgress(e) > need {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneEntries drops cache entries whose window has expired: an entry
+// started at t_j serves only while t_j ≥ t − T (Section 2.2).
+func (s *System) pruneEntries() {
+	cutoff := int32(s.round - s.cat.T)
+	for st := range s.entries {
+		es := s.entries[st]
+		keep := 0
+		for i := range es {
+			if es[i].start >= cutoff {
+				es[keep] = es[i]
+				keep++
+			}
+		}
+		if keep != len(es) {
+			tail := es[keep:]
+			for i := range tail {
+				tail[i] = entry{}
+			}
+			s.entries[st] = es[:keep]
+		}
+	}
+}
+
+// selfPossesses reports whether box b already has stripe st available
+// locally: stored by allocation, or completely cached from a recent
+// viewing (frozen full-progress entry inside the window).
+func (s *System) selfPossesses(b int32, st video.StripeID) bool {
+	if s.cfg.Alloc.Stores(int(b), st) {
+		return true
+	}
+	if s.cfg.DisableCacheServing {
+		return false
+	}
+	for i := range s.entries[st] {
+		e := &s.entries[st][i]
+		if e.box == b && e.req == -1 && e.frozen >= int32(s.cat.T) {
+			return true
+		}
+	}
+	return false
+}
+
+// String summarizes the system state for debugging.
+func (s *System) String() string {
+	return fmt.Sprintf("system{n=%d %v round=%d active=%d viewers=%d}",
+		s.n, s.cat, s.round, s.activeReqs, s.tracker.TotalViewers())
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"repro/internal/video"
+)
+
+// View is the read-only window demand generators get on the system.
+// Adversarial generators use it to aim at the weakest point the current
+// state exposes; it exposes nothing a real-world adversary observing the
+// system could not infer.
+type View struct{ s *System }
+
+// View returns the system's read-only view.
+func (s *System) View() *View { return &View{s} }
+
+// Round returns the current round.
+func (v *View) Round() int { return v.s.round }
+
+// NumBoxes returns the number of boxes.
+func (v *View) NumBoxes() int { return v.s.n }
+
+// Catalog returns the catalog.
+func (v *View) Catalog() video.Catalog { return v.s.cat }
+
+// BoxIdle reports whether box b can accept a demand this round.
+func (v *View) BoxIdle(b int) bool {
+	return !v.s.busy[b] && v.s.outstanding[b] == 0
+}
+
+// Upload returns the normalized upload capacity of box b.
+func (v *View) Upload(b int) float64 { return v.s.cfg.Uploads[b] }
+
+// UploadSlots returns the matching capacity of box b in stripe slots
+// (after relay reservations).
+func (v *View) UploadSlots(b int) int64 { return v.s.caps[b] }
+
+// SwarmSize returns the current swarm size of a video.
+func (v *View) SwarmSize(id video.ID) int { return v.s.tracker.Size(id) }
+
+// SwarmAllowance returns how many boxes may still join the video's swarm
+// this round under the growth bound µ.
+func (v *View) SwarmAllowance(id video.ID) int { return v.s.tracker.Allowance(id) }
+
+// Stores reports whether box b statically stores stripe st.
+func (v *View) Stores(b int, st video.StripeID) bool { return v.s.cfg.Alloc.Stores(b, st) }
+
+// Replicas returns the allocation replica count of a stripe.
+func (v *View) Replicas(st video.StripeID) int { return v.s.cfg.Alloc.Replicas(st) }
+
+// StripeHolders returns the boxes storing stripe st by allocation.
+// The returned slice must not be modified.
+func (v *View) StripeHolders(st video.StripeID) []int32 { return v.s.cfg.Alloc.ByStripe[st] }
+
+// IdleBoxes appends the indices of all idle boxes to dst and returns it.
+func (v *View) IdleBoxes(dst []int) []int {
+	for b := 0; b < v.s.n; b++ {
+		if v.BoxIdle(b) {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// ActiveRequests returns the number of in-flight stripe requests.
+func (v *View) ActiveRequests() int { return v.s.activeReqs }
+
+// ServerLoad returns the matcher load of box b this round (slots in use
+// as of the previous matching).
+func (v *View) ServerLoad(b int) int64 { return v.s.matcher.Load(b) }

@@ -1,0 +1,176 @@
+package expander
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/allocation"
+	"repro/internal/analysis"
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+func buildAlloc(t *testing.T, seed uint64, n, d, c, k int) *allocation.Allocation {
+	t.Helper()
+	a, _, err := allocation.HomogeneousPermutation(stats.NewRNG(seed), n, d, c, 10, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func slotsFor(n int, u float64, c int) []int64 {
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = int64(analysis.UploadSlots(u, c))
+	}
+	return s
+}
+
+func TestHealthyAllocationPasses(t *testing.T) {
+	// Generous capacity: every probe should clear the Hall bar.
+	const n, d, c, k = 40, 2, 4, 8
+	alloc := buildAlloc(t, 1, n, d, c, k)
+	aud := New(alloc, slotsFor(n, 3.0, c))
+	res := aud.Full(stats.NewRNG(2), 100, 10)
+	if res.Violations != 0 {
+		t.Fatalf("healthy allocation flagged %d violations; worst %+v",
+			res.Violations, res.Worst)
+	}
+	if res.Probes < 100 {
+		t.Fatalf("too few probes: %d", res.Probes)
+	}
+	if res.Worst.Ratio < 1 {
+		t.Fatalf("worst ratio %v below 1 without violations", res.Worst.Ratio)
+	}
+}
+
+func TestStarvedAllocationFlagged(t *testing.T) {
+	// u = 0.5 and k = 1: a full-population demand on any video needs n·c
+	// slots but each stripe has a single server with 2 slots. The video
+	// probe must catch it.
+	const n, d, c, k = 20, 1, 4, 1
+	alloc := buildAlloc(t, 3, n, d, c, k)
+	aud := New(alloc, slotsFor(n, 0.5, c))
+	res := aud.AuditVideos()
+	if res.Violations == 0 {
+		t.Fatal("starved allocation passed the video audit")
+	}
+	if !res.Worst.Violated() || res.Worst.Ratio >= 1 {
+		t.Fatalf("worst finding not a violation: %+v", res.Worst)
+	}
+}
+
+func TestVideoAuditProbesEveryVideo(t *testing.T) {
+	const n, d, c, k = 20, 2, 4, 4
+	alloc := buildAlloc(t, 4, n, d, c, k)
+	aud := New(alloc, slotsFor(n, 2.0, c))
+	res := aud.AuditVideos()
+	if res.Probes != alloc.Catalog().M {
+		t.Fatalf("probed %d videos, want %d", res.Probes, alloc.Catalog().M)
+	}
+}
+
+func TestRandomAuditRespectsMaxDistinct(t *testing.T) {
+	const n, d, c, k = 20, 2, 4, 4
+	alloc := buildAlloc(t, 5, n, d, c, k)
+	aud := New(alloc, slotsFor(n, 2.0, c))
+	res := aud.AuditRandom(stats.NewRNG(6), 50, 3)
+	if res.Probes != 50 {
+		t.Fatalf("probes = %d", res.Probes)
+	}
+	if len(res.Worst.Stripes) > 3 {
+		t.Fatalf("probe exceeded maxDistinct: %d stripes", len(res.Worst.Stripes))
+	}
+}
+
+func TestGreedyFindsWeakerSetsThanRandom(t *testing.T) {
+	// On a tight allocation the greedy overlap search should find a ratio
+	// no better (no higher) than random probing finds on average.
+	const n, d, c, k = 30, 2, 4, 2
+	alloc := buildAlloc(t, 7, n, d, c, k)
+	aud := New(alloc, slotsFor(n, 1.2, c))
+	random := aud.AuditRandom(stats.NewRNG(8), 60, 0)
+	greedy := aud.AuditGreedy(stats.NewRNG(8), 10, 0)
+	if greedy.Worst.Ratio > random.Worst.Ratio+0.25 {
+		t.Fatalf("greedy (%.3f) much worse at finding weak sets than random (%.3f)",
+			greedy.Worst.Ratio, random.Worst.Ratio)
+	}
+}
+
+func TestFindingFields(t *testing.T) {
+	const n, d, c, k = 10, 2, 2, 4
+	alloc := buildAlloc(t, 9, n, d, c, k)
+	aud := New(alloc, slotsFor(n, 2.0, c))
+	cat := alloc.Catalog()
+	f := aud.measure([]video.StripeID{cat.Stripe(0, 0)}, n)
+	if f.Boxes == 0 || f.Slots == 0 || f.Requests != n {
+		t.Fatalf("degenerate finding: %+v", f)
+	}
+	// Box count can't exceed replica count k.
+	if f.Boxes > k {
+		t.Fatalf("one stripe has %d server boxes > k=%d", f.Boxes, k)
+	}
+}
+
+func TestRequestsClampedToSystemBound(t *testing.T) {
+	const n, d, c, k = 10, 2, 2, 4
+	alloc := buildAlloc(t, 10, n, d, c, k)
+	aud := New(alloc, slotsFor(n, 2.0, c))
+	cat := alloc.Catalog()
+	var all []video.StripeID
+	for s := 0; s < cat.NumStripes(); s++ {
+		all = append(all, video.StripeID(s))
+	}
+	f := aud.measure(all, 1<<30)
+	if f.Requests != n*c {
+		t.Fatalf("requests %d not clamped to n·c = %d", f.Requests, n*c)
+	}
+}
+
+// Property: audits never report a violation when capacity is globally
+// abundant (slots per box ≥ n·c, so any B(σ) with ≥ 1 box suffices).
+func TestQuickAbundantCapacityNeverViolates(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 8 + rng.Intn(16)
+		alloc, _, err := allocation.HomogeneousPermutation(rng, n, 2, 2, 10, 2)
+		if err != nil {
+			return false
+		}
+		slots := make([]int64, n)
+		for i := range slots {
+			slots[i] = int64(n * 2) // one box alone can serve everything
+		}
+		aud := New(alloc, slots)
+		res := aud.Full(stats.NewRNG(seed^1), 20, 4)
+		return res.Violations == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ratio is consistent with slots/requests on every worst
+// finding.
+func TestQuickRatioConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		n := 8 + rng.Intn(16)
+		alloc, _, err := allocation.HomogeneousPermutation(rng, n, 2, 2, 10, 2)
+		if err != nil {
+			return false
+		}
+		aud := New(alloc, slotsFor(n, 1.0+rng.Float64()*2, 2))
+		res := aud.Full(stats.NewRNG(seed^2), 20, 4)
+		w := res.Worst
+		if w.Requests == 0 {
+			return true
+		}
+		want := float64(w.Slots) / float64(w.Requests)
+		return w.Ratio == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:   "E2",
+		Name: "catalog-linearity",
+		Claim: "for u > 1 the achievable catalog grows linearly in n " +
+			"(Theorem 1: m = Ω(n))",
+		Run: runE2,
+	})
+}
+
+func runE2(o Options) Result {
+	base := homParams{d: 2, c: 4, T: pick(o, 16, 24), u: 1.5, mu: 1.2}
+	ns := pick(o, []int{16, 24, 32}, []int{20, 40, 60, 80, 120})
+	rounds := pick(o, 40, 80)
+	seeds := pick(o, 1, 3)
+
+	fig := report.NewFigure("E2: catalog vs population size at u = 1.5", "n", "catalog size m")
+	measured := fig.AddSeries("measured")
+	boundShape := fig.AddSeries("Theorem 1 bound shape (normalized)")
+
+	tbl := report.New("E2: catalog linearity in n", "n", "max m", "k", "m / n")
+	var firstM, firstBound float64
+	for _, n := range ns {
+		p := base
+		p.n = n
+		m, k, err := maxFeasibleCatalog(o, p, rounds, seeds, nil)
+		if err != nil {
+			tbl.AddRow(report.Cell(n), "error: "+err.Error(), "", "")
+			continue
+		}
+		measured.Add(float64(n), float64(m))
+		b := analysis.CatalogBound(analysis.HomogeneousParams{N: n, U: p.u, D: p.d, Mu: p.mu})
+		if firstM == 0 && m > 0 {
+			firstM, firstBound = float64(m), b
+		}
+		if firstBound > 0 {
+			boundShape.Add(float64(n), b/firstBound*firstM)
+		}
+		tbl.AddRowValues(n, m, k, float64(m)/float64(n))
+	}
+	tbl.AddNote("u=%.2f d=%d c=%d µ=%.2f; bound shape scaled to match the first point", base.u, base.d, base.c, base.mu)
+	tbl.AddNote("claim shape: m/n roughly constant (linear catalog)")
+	return Result{ID: "E2", Name: "catalog-linearity", Claim: registry["E2"].Claim,
+		Tables: []*report.Table{tbl}, Figures: []*report.Figure{fig}}
+}

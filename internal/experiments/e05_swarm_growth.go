@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/adversary"
+	"repro/internal/analysis"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:   "E5",
+		Name: "swarm-growth",
+		Claim: "absorbing swarm growth µ needs stripe count c > (2µ²−1)/(u−1): " +
+			"flash crowds break the system below the bound and are absorbed above it " +
+			"(Theorem 1 condition, Lemma 2)",
+		Run: runE5,
+	})
+}
+
+func runE5(o Options) Result {
+	n := pick(o, 64, 64)
+	d, T := 2, 25
+	u, mu := 1.25, 3.0
+	// Theory's sufficient condition: c > (2µ²−1)/(u−1) = 68. Empirically
+	// the crossover sits far below (the bound is loose); the shape to
+	// check is failure-rate decreasing in c and zero at the theory bound.
+	cs := pick(o, []int{2, 4, 12}, []int{2, 3, 4, 6, 8, 12, 16, 24, 48, 68})
+	k := 2
+	trials := pick(o, 4, 10)
+	rounds := pick(o, 80, 100)
+
+	fig := report.NewFigure("E5: flash-crowd failure rate vs stripe count", "c", "P(failure)")
+	failRate := fig.AddSeries("flash-crowd failure rate")
+
+	tbl := report.New("E5: stripe-count threshold for swarm growth µ = 3",
+		"c", "ν", "failures/trials", "P(failure)", "max swarm seen")
+	for _, c := range cs {
+		p := homParams{n: n, d: d, c: c, T: T, u: u, mu: mu}
+		var mu2 sync.Mutex
+		maxSwarm := 0
+		failures, err := parallelCount(o.workers(), trials, func(i int) (bool, error) {
+			seed := o.Seed + uint64(i)*15485863 + uint64(c)
+			sys, _, err := buildHom(seed, p, k, nil)
+			if err != nil {
+				return false, err
+			}
+			rep, err := sys.Run(&adversary.FlashCrowd{Target: 0, Rotate: true}, rounds)
+			if err != nil {
+				return false, err
+			}
+			mu2.Lock()
+			if rep.MaxSwarm > maxSwarm {
+				maxSwarm = rep.MaxSwarm
+			}
+			mu2.Unlock()
+			return rep.Failed, nil
+		})
+		if err != nil {
+			tbl.AddRow(report.Cell(c), "error: "+err.Error(), "", "", "")
+			continue
+		}
+		rate := float64(failures) / float64(trials)
+		failRate.Add(float64(c), rate)
+		tbl.AddRowValues(c, analysis.Nu(u, c, mu), failures, rate, maxSwarm)
+	}
+	tbl.AddNote("n=%d d=%d k=%d u=%.2f µ=%.2f rounds=%d trials=%d; threshold c* = (2µ²−1)/(u−1) = %.1f",
+		n, d, k, u, mu, rounds, trials, (2*mu*mu-1)/(u-1))
+	tbl.AddNote("claim shape: failure rate high for c below c*, dropping toward 0 above it (ν > 0)")
+	return Result{ID: "E5", Name: "swarm-growth", Claim: registry["E5"].Claim,
+		Tables: []*report.Table{tbl}, Figures: []*report.Figure{fig}}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/allocation"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/video"
+)
+
+func init() {
+	register(Experiment{
+		ID:   "E10",
+		Name: "impossibility",
+		Claim: "for u < 1 any catalog beyond d_max/ℓ = d·c is defeated: some box " +
+			"stores nothing of some video and the avoid-possession sequence " +
+			"overloads the system (§1.3)",
+		Run: runE10,
+	})
+}
+
+func runE10(o Options) Result {
+	n := pick(o, 16, 32)
+	d, c, T := 2, 4, pick(o, 16, 24)
+	u, mu := 0.5, 2.0
+	rounds := pick(o, 30, 60)
+	capM := d * c // the paper's ceiling d_max/ℓ with ℓ = 1/c
+	ms := pick(o, []int{2, 8, 16}, []int{1, 2, 4, 6, 8, 10, 12, 16, 24})
+
+	tbl := report.New("E10: u < 1 catalog ceiling (covering allocation)",
+		"m", "m vs cap", "defeated", "demand/capacity")
+	fig := report.NewFigure("E10: defeat vs catalog size at u = 0.5", "m", "defeated (1) / served (0)")
+	series := fig.AddSeries("avoid-possession adversary")
+
+	uploads := make([]float64, n)
+	for i := range uploads {
+		uploads[i] = u
+	}
+	for _, m := range ms {
+		k := d * n / m
+		if k < 1 {
+			k = 1
+		}
+		cat, err := video.NewCatalog(m, c, T)
+		if err != nil {
+			continue
+		}
+		slots := make([]int, n)
+		total := k * m * c
+		base, rem := total/n, total%n
+		for i := range slots {
+			slots[i] = base
+			if i < rem {
+				slots[i]++
+			}
+		}
+		// Covering allocation: round-robin guarantees every box stores some
+		// data of every video exactly when m ≤ d·c — the premise of the
+		// impossibility argument.
+		alloc, err := allocation.FullReplication(cat, slots, k)
+		if err != nil {
+			tbl.AddRow(report.Cell(m), "", "alloc error: "+err.Error(), "")
+			continue
+		}
+		sys, err := core.NewSystem(core.Config{Alloc: alloc, Uploads: uploads, Mu: mu})
+		if err != nil {
+			tbl.AddRow(report.Cell(m), "", "config error: "+err.Error(), "")
+			continue
+		}
+		rep, err := sys.Run(adversary.AvoidPossession{}, rounds)
+		if err != nil {
+			tbl.AddRow(report.Cell(m), "", "run error: "+err.Error(), "")
+			continue
+		}
+		rel := "≤ cap"
+		if m > capM {
+			rel = "> cap"
+		}
+		val := 0.0
+		verdict := "served"
+		if rep.Failed {
+			verdict = "DEFEATED"
+			val = 1
+		}
+		series.Add(float64(m), val)
+		// Aggregate demand/capacity if every box watched an unstored video.
+		tbl.AddRowValues(m, rel, verdict, 1/u)
+	}
+	tbl.AddNote("n=%d d=%d c=%d u=%.2f cap=d·c=%d rounds=%d", n, d, c, u, capM, rounds)
+	tbl.AddNote("claim shape: every m > %d is defeated; small m survive because boxes self-possess "+
+		"most of what they play", capM)
+	return Result{ID: "E10", Name: "impossibility", Claim: registry["E10"].Claim,
+		Tables: []*report.Table{tbl}, Figures: []*report.Figure{fig}}
+}

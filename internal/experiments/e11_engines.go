@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/maxflow"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:   "E11",
+		Name: "matching-engines",
+		Claim: "the Lemma 1 reduction is practical: exact max-flow matching is " +
+			"required (greedy strands requests an optimal matching serves), and " +
+			"all exact solvers agree (solver timing lives in BenchmarkE11)",
+		Run: runE11,
+	})
+}
+
+// matchingInstance is a synthetic round snapshot: requests grouped by
+// stripe, each stripe served by a random server subset (allocation k plus
+// a swarm prefix), boxes with uniform slot capacities.
+type matchingInstance struct {
+	name    string
+	caps    []int64
+	adj     *instanceAdj
+	lefts   []int
+}
+
+type instanceAdj struct {
+	neighbors [][]int32
+}
+
+func (a *instanceAdj) VisitServers(l int, fn func(int) bool) {
+	for _, r := range a.neighbors[l] {
+		if !fn(int(r)) {
+			return
+		}
+	}
+}
+
+func (a *instanceAdj) CanServe(l, r int) bool {
+	for _, x := range a.neighbors[l] {
+		if int(x) == r {
+			return true
+		}
+	}
+	return false
+}
+
+// synthesizeInstance builds a flash-crowd-shaped matching instance.
+func synthesizeInstance(rng *stats.RNG, name string, n, stripes, perStripe, k, slots int) matchingInstance {
+	caps := make([]int64, n)
+	for i := range caps {
+		caps[i] = int64(slots)
+	}
+	adj := &instanceAdj{}
+	var lefts []int
+	l := 0
+	for s := 0; s < stripes; s++ {
+		servers := rng.SampleWithoutReplacement(n, k)
+		for r := 0; r < perStripe; r++ {
+			// Swarm effect: request r can also use up to r predecessors.
+			nbr := make([]int32, 0, k+4)
+			for _, b := range servers {
+				nbr = append(nbr, int32(b))
+			}
+			extra := r
+			if extra > 4 {
+				extra = 4
+			}
+			for e := 0; e < extra; e++ {
+				nbr = append(nbr, int32(rng.Intn(n)))
+			}
+			adj.neighbors = append(adj.neighbors, nbr)
+			lefts = append(lefts, l)
+			l++
+		}
+	}
+	return matchingInstance{name: name, caps: caps, adj: adj, lefts: lefts}
+}
+
+func runE11(o Options) Result {
+	rng := stats.NewRNG(o.Seed ^ 0xe11)
+	scale := pick(o, 1, 4)
+	instances := []matchingInstance{
+		synthesizeInstance(rng, "sparse", 40*scale, 10*scale, 8, 3, 4),
+		synthesizeInstance(rng, "flash-crowd", 40*scale, 4, 36*scale, 3, 6),
+		synthesizeInstance(rng, "saturated", 30*scale, 15*scale, 8, 2, 3),
+	}
+
+	tbl := report.New("E11: matching engines — optimality gap",
+		"instance", "requests", "optimal matched", "greedy matched", "greedy gap %", "solvers agree")
+	for _, inst := range instances {
+		m := bipartite.NewMatcher(inst.caps)
+		for _, l := range inst.lefts {
+			m.AddLeft(l)
+		}
+		m.AugmentAll(inst.adj)
+		optimal := m.MatchedCount()
+
+		g := bipartite.NewGreedy(inst.caps)
+		_, greedy := g.Match(inst.adj, inst.lefts)
+
+		// Cross-check all three max-flow solvers on the flow formulation.
+		agree := solversAgree(inst, int64(optimal))
+
+		gap := 0.0
+		if optimal > 0 {
+			gap = 100 * float64(optimal-greedy) / float64(optimal)
+		}
+		tbl.AddRowValues(inst.name, len(inst.lefts), optimal, greedy, gap, boolCell(agree))
+	}
+	tbl.AddNote("greedy = first-fit without reassignment; gap > 0 shows why Lemma 1's max-flow matters")
+	tbl.AddNote("wall-clock comparisons (Dinic vs EK vs push-relabel vs warm-start) are in BenchmarkE11MatchingEngines")
+	return Result{ID: "E11", Name: "matching-engines", Claim: registry["E11"].Claim,
+		Tables: []*report.Table{tbl}}
+}
+
+func solversAgree(inst matchingInstance, want int64) bool {
+	for _, mk := range []func() maxflow.Solver{
+		func() maxflow.Solver { return &maxflow.Dinic{} },
+		func() maxflow.Solver { return &maxflow.EdmondsKarp{} },
+		func() maxflow.Solver { return &maxflow.PushRelabel{} },
+	} {
+		nL := len(inst.lefts)
+		nR := len(inst.caps)
+		g := maxflow.NewNetwork(2 + nL + nR)
+		src, sink := 0, 1
+		for i, l := range inst.lefts {
+			g.AddEdge(src, 2+i, 1)
+			inst.adj.VisitServers(l, func(r int) bool {
+				g.AddEdge(2+i, 2+nL+r, 1)
+				return true
+			})
+		}
+		for r, c := range inst.caps {
+			g.AddEdge(2+nL+r, sink, c)
+		}
+		if mk().MaxFlow(g, src, sink) != want {
+			return false
+		}
+	}
+	return true
+}

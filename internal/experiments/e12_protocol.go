@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:   "E12",
+		Name: "protocol-gap",
+		Claim: "a practical decentralized proposal protocol approaches the " +
+			"centralized max-flow matching (the paper's closing future-work remark: " +
+			"the existence result \"does not yield directly a practical distributed algorithm\")",
+		Run: runE12,
+	})
+}
+
+func runE12(o Options) Result {
+	rng := stats.NewRNG(o.Seed ^ 0xe12)
+	scale := pick(o, 1, 4)
+	instances := []matchingInstance{
+		synthesizeInstance(rng, "sparse", 40*scale, 10*scale, 8, 3, 4),
+		synthesizeInstance(rng, "flash-crowd", 40*scale, 4, 36*scale, 3, 6),
+		synthesizeInstance(rng, "saturated", 30*scale, 15*scale, 8, 2, 3),
+		synthesizeInstance(rng, "scarce", 30*scale, 20*scale, 6, 1, 2),
+	}
+
+	tbl := report.New("E12: decentralized protocol vs centralized optimum",
+		"instance", "requests", "optimal", "blind", "gap %", "herd", "gap %", "rand-informed", "gap %", "blind msgs", "informed msgs")
+	fig := report.NewFigure("E12: protocol optimality gap", "instance #", "matched fraction of optimal")
+	series := fig.AddSeries("blind / optimal")
+	seriesHerd := fig.AddSeries("herd / optimal")
+	seriesInf := fig.AddSeries("rand-informed / optimal")
+
+	for idx, mi := range instances {
+		// Exact optimum via the incremental matcher.
+		m := bipartite.NewMatcher(mi.caps)
+		for _, l := range mi.lefts {
+			m.AddLeft(l)
+		}
+		m.AugmentAll(mi.adj)
+		optimal := m.MatchedCount()
+
+		// Convert to a protocol instance.
+		inst := protocol.Instance{Caps: mi.caps, Candidates: make([][]int32, len(mi.lefts))}
+		for i, l := range mi.lefts {
+			mi.adj.VisitServers(l, func(r int) bool {
+				inst.Candidates[i] = append(inst.Candidates[i], int32(r))
+				return true
+			})
+		}
+		nsCfg := netsim.Config{BaseLatency: 1, Jitter: 0.4, Seed: o.Seed + uint64(idx)}
+		blind := protocol.Run(inst, nsCfg)
+		herd := protocol.RunInformed(inst, nsCfg, protocol.VariantHerd)
+		informed := protocol.RunInformed(inst, nsCfg, protocol.VariantRandomInformed)
+		bad := false
+		for _, res := range []protocol.Result{blind, herd, informed} {
+			if err := res.Verify(inst); err != nil {
+				tbl.AddRow(mi.name, "error: "+err.Error(), "", "", "", "", "", "", "", "", "")
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		gapOf := func(matched int) (float64, float64) {
+			if optimal == 0 {
+				return 0, 1
+			}
+			return 100 * float64(optimal-matched) / float64(optimal),
+				float64(matched) / float64(optimal)
+		}
+		bGap, bFrac := gapOf(blind.Matched)
+		hGap, hFrac := gapOf(herd.Matched)
+		iGap, iFrac := gapOf(informed.Matched)
+		series.Add(float64(idx), bFrac)
+		seriesHerd.Add(float64(idx), hFrac)
+		seriesInf.Add(float64(idx), iFrac)
+		tbl.AddRowValues(mi.name, len(mi.lefts), optimal,
+			blind.Matched, bGap, herd.Matched, hGap, informed.Matched, iGap,
+			blind.Messages, informed.Messages)
+	}
+	tbl.AddNote("all variants yield maximal matchings (≥ 1/2 optimal); 'herd' uses the polled load snapshot best-first " +
+		"and collapses via stale-load herding; randomizing over advertised-free candidates repairs it")
+	return Result{ID: "E12", Name: "protocol-gap", Claim: registry["E12"].Claim,
+		Tables: []*report.Table{tbl}, Figures: []*report.Figure{fig}}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/hetero"
+	"repro/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:   "T1",
+		Name: "planner",
+		Claim: "Theorem 1 and Theorem 2 give concrete deployable parameters " +
+			"(c, k, catalog) for realistic fleet sizes",
+		Run: runT1,
+	})
+}
+
+func runT1(o Options) Result {
+	tbl := report.New("T1: Theorem 1 parameter plans (homogeneous)",
+		"n", "u", "d", "µ", "c", "k (Thm 1)", "k (proof)", "m = dn/k", "u'", "ν", "bound Ω(...)")
+	grid := []struct {
+		n    int
+		u    float64
+		d    int
+		mu   float64
+	}{
+		{10000, 1.2, 4, 1.1},
+		{10000, 1.5, 4, 1.1},
+		{10000, 2.0, 4, 1.1},
+		{10000, 3.0, 4, 1.1},
+		{10000, 1.5, 16, 1.1},
+		{10000, 1.5, 4, 1.5},
+		{10000, 1.5, 4, 2.0},
+		{100000, 1.5, 4, 1.1},
+		{1000000, 1.5, 4, 1.1},
+	}
+	for _, g := range grid {
+		p := analysis.HomogeneousParams{N: g.n, U: g.u, D: g.d, Mu: g.mu}
+		plan, err := analysis.NewPlan(p)
+		if err != nil {
+			tbl.AddRow(report.Cell(g.n), report.Cell(g.u), report.Cell(g.d), report.Cell(g.mu),
+				"infeasible: "+err.Error(), "", "", "", "", "", "")
+			continue
+		}
+		tbl.AddRowValues(g.n, g.u, g.d, g.mu, plan.C, plan.K, plan.ProofK, plan.M,
+			plan.UPrime, plan.Nu, plan.Bound)
+	}
+	tbl.AddNote("k is the paper's 5ν⁻¹·log d′/log u′ with the recommended c = ⌈2(2µ²−1)/(u−1)⌉")
+
+	het := report.New("T1b: Theorem 2 parameter plans (heterogeneous, bimodal populations)",
+		"n", "poor frac", "u*", "µ", "avg u", "∆(1)/n", "necessary", "compensatable", "balanced", "c", "k", "m")
+	for _, g := range []struct {
+		n     int
+		frac  float64
+		uStar float64
+		mu    float64
+	}{
+		{10000, 0.2, 1.5, 1.05},
+		{10000, 0.4, 1.5, 1.05},
+		{10000, 0.6, 1.5, 1.05},
+		{10000, 0.3, 1.2, 1.05},
+		{10000, 0.3, 2.0, 1.05},
+	} {
+		pop := hetero.Bimodal(g.n, 1-g.frac, 3.0, 0.5, 2.0)
+		hp := analysis.HeteroParams{
+			Uploads: pop.Uploads, Storage: pop.Storage,
+			UStar: g.uStar, Mu: g.mu, Duration: 7200,
+		}
+		plan, err := analysis.NewHeteroPlan(hp)
+		if err != nil {
+			het.AddRow(report.Cell(g.n), report.Cell(g.frac), report.Cell(g.uStar), report.Cell(g.mu),
+				"error: "+err.Error(), "", "", "", "", "", "", "")
+			continue
+		}
+		het.AddRowValues(g.n, g.frac, g.uStar, g.mu, hp.AvgUpload(),
+			plan.Deficit1/float64(g.n),
+			boolCell(plan.NecessaryOK), boolCell(plan.Compensatable), boolCell(plan.Balanced),
+			plan.C, plan.K, plan.M)
+	}
+	het.AddNote("bimodal fleets: rich u=3.0, poor u=0.5, storage proportional (ratio 2)")
+	return Result{ID: "T1", Name: "planner", Claim: registry["T1"].Claim,
+		Tables: []*report.Table{tbl, het}}
+}

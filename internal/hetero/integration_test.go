@@ -1,0 +1,228 @@
+package hetero
+
+import (
+	"testing"
+
+	"repro/internal/allocation"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+// buildRelayed assembles a full Section 4 system: bimodal population,
+// compensation assignment, permutation allocation over proportional
+// storage, and a relayed-strategy core config.
+func buildRelayed(t *testing.T, seed uint64, n int, richFrac, uRich, uPoor, uStar, mu float64, c, k, T int) (*core.System, int) {
+	t.Helper()
+	pop := Bimodal(n, richFrac, uRich, uPoor, 2.0)
+	relays, err := Compensate(pop.Uploads, uStar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, m, err := AllocationSlots(pop.Storage, c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := video.MustCatalog(m, c, T)
+	alloc, err := allocation.Permutation(stats.NewRNG(seed), cat, slots, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Alloc:    alloc,
+		Uploads:  pop.Uploads,
+		Mu:       mu,
+		Strategy: core.StrategyRelayed,
+		UStar:    uStar,
+		Relays:   relays,
+		Paranoid: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, m
+}
+
+// poorFirst demands from poor boxes first — the hard case for relaying.
+type poorFirst struct {
+	uStar float64
+	next  video.ID
+}
+
+func (g *poorFirst) Next(v *core.View, round int) []core.Demand {
+	var out []core.Demand
+	m := v.Catalog().M
+	emit := func(b int) bool {
+		for tries := 0; tries < m; tries++ {
+			if v.SwarmAllowance(g.next) > 0 {
+				out = append(out, core.Demand{Box: b, Video: g.next})
+				g.next = video.ID((int(g.next) + 1) % m)
+				return true
+			}
+			g.next = video.ID((int(g.next) + 1) % m)
+		}
+		return false
+	}
+	for _, b := range v.IdleBoxes(nil) {
+		if v.Upload(b) < g.uStar {
+			if !emit(b) {
+				return out
+			}
+		}
+	}
+	for _, b := range v.IdleBoxes(nil) {
+		if v.Upload(b) >= g.uStar {
+			if !emit(b) {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+func TestRelayedSystemServesPoorBoxes(t *testing.T) {
+	// 30% poor boxes at u=0.5 relayed through rich boxes at u=3.0.
+	// c = 30 ≥ 10µ⁴/(u*−1) ≈ 29.3 for µ=1.1, u*=1.5.
+	sys, m := buildRelayed(t, 21, 40, 0.7, 3.0, 0.5, 1.5, 1.1, 30, 4, 40)
+	if m < 10 {
+		t.Fatalf("catalog too small for the test: m=%d", m)
+	}
+	gen := &poorFirst{uStar: 1.5}
+	rep, err := sys.Run(gen, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("relayed system failed at round %d: %+v", rep.FailRound, rep.Obstructions)
+	}
+	if rep.CompletedViewings == 0 {
+		t.Fatal("no viewings completed")
+	}
+	// Both poor (delay 6) and rich (delay 4) demands should have played.
+	if rep.StartupDelay.Min != 4 || rep.StartupDelay.Max != 6 {
+		t.Errorf("startup delays = %+v, want min 4 / max 6", rep.StartupDelay)
+	}
+	// Poor boxes route through relays: the request mix must show relayed
+	// requests and some direct postponed ones (c_b > 0 at u=0.5, c=30).
+	if rep.RelayedRequests == 0 {
+		t.Error("no relayed requests recorded in a relayed run")
+	}
+	if rep.PostponedRequests == 0 {
+		t.Error("no direct postponed requests recorded (c_b should be > 0)")
+	}
+}
+
+func TestRelayedRejectsOverReservedRelay(t *testing.T) {
+	// A relay whose reservations exceed its upload slots must be rejected
+	// at configuration time: one rich box at u*=1.5 exactly (zero spare)
+	// assigned two poor boxes by hand.
+	pop := Bimodal(3, 1.0/3.0, 6.0, 0.2, 2.0)
+	c, k := 30, 1
+	slots, m, err := AllocationSlots(pop.Storage, c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := video.MustCatalog(m, c, 20)
+	alloc, err := allocation.Permutation(stats.NewRNG(1), cat, slots, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build an absurd assignment: both poor boxes on box 0, which
+	// also only has ⌊6·30⌋ = 180 slots; each reservation is c−c_b = 30
+	// slots (c_b=0 at u=0.2, µ=1.1) — fine. Now shrink the relay to
+	// u=1.6: 48 slots < 60 reserved → config must fail.
+	pop.Uploads[0] = 1.6
+	relays := []int{core.NoRelay, 0, 0}
+	_, err = core.NewSystem(core.Config{
+		Alloc:    alloc,
+		Uploads:  pop.Uploads,
+		Mu:       1.1,
+		Strategy: core.StrategyRelayed,
+		UStar:    1.5,
+		Relays:   relays,
+	})
+	if err == nil {
+		t.Fatal("over-reserved relay must be rejected")
+	}
+}
+
+func TestRelayedConfigErrors(t *testing.T) {
+	pop := Bimodal(4, 0.5, 3.0, 0.5, 2.0)
+	slots, m, err := AllocationSlots(pop.Storage, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := video.MustCatalog(m, 30, 20)
+	alloc, err := allocation.Permutation(stats.NewRNG(1), cat, slots, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.Config{
+		Alloc:    alloc,
+		Uploads:  pop.Uploads,
+		Mu:       1.1,
+		Strategy: core.StrategyRelayed,
+		UStar:    1.5,
+	}
+	// Poor box without relay.
+	cfg := base
+	cfg.Relays = []int{core.NoRelay, core.NoRelay, core.NoRelay, core.NoRelay}
+	if _, err := core.NewSystem(cfg); err == nil {
+		t.Error("poor box without relay accepted")
+	}
+	// Rich box with a relay.
+	cfg = base
+	cfg.Relays = []int{1, core.NoRelay, 0, 0}
+	if _, err := core.NewSystem(cfg); err == nil {
+		t.Error("rich box with relay accepted")
+	}
+	// Poor relay.
+	cfg = base
+	cfg.Relays = []int{core.NoRelay, core.NoRelay, 3, 2}
+	if _, err := core.NewSystem(cfg); err == nil {
+		t.Error("poor relay accepted")
+	}
+	// Self relay.
+	cfg = base
+	cfg.Relays = []int{core.NoRelay, core.NoRelay, 2, 0}
+	if _, err := core.NewSystem(cfg); err == nil {
+		t.Error("self relay accepted")
+	}
+}
+
+func TestRelayedZipfWorkload(t *testing.T) {
+	sys, _ := buildRelayed(t, 22, 30, 0.7, 3.0, 0.5, 1.5, 1.1, 30, 3, 30)
+	gen := &zipfLike{rng: stats.NewRNG(7), p: 0.3}
+	rep, err := sys.Run(gen, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("relayed Zipf workload failed: %+v", rep.Obstructions)
+	}
+	if rep.CompletedViewings == 0 {
+		t.Fatal("no completions")
+	}
+}
+
+// zipfLike is a minimal random workload local to this test (the full one
+// lives in package adversary; duplicating three lines avoids a cycle).
+type zipfLike struct {
+	rng *stats.RNG
+	p   float64
+}
+
+func (g *zipfLike) Next(v *core.View, _ int) []core.Demand {
+	var out []core.Demand
+	m := v.Catalog().M
+	for _, b := range v.IdleBoxes(nil) {
+		if !g.rng.Bool(g.p) {
+			continue
+		}
+		vid := video.ID(g.rng.Intn(m))
+		if v.SwarmAllowance(vid) > 0 {
+			out = append(out, core.Demand{Box: b, Video: vid})
+		}
+	}
+	return out
+}

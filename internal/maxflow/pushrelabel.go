@@ -1,0 +1,129 @@
+package maxflow
+
+// PushRelabel implements the FIFO push–relabel algorithm with the gap
+// heuristic, O(V³). On dense matching instances it trades Dinic's
+// path-following for local pushes; the E11 ablation measures where each
+// wins.
+//
+// Unlike Dinic and Edmonds–Karp, push–relabel is not warm-startable from
+// an arbitrary pre-existing flow in this implementation; it requires the
+// network to carry either zero flow or flow it produced itself (a valid
+// preflow is re-derived from residuals on entry only when the current flow
+// is a feasible flow, which both cases satisfy).
+type PushRelabel struct {
+	height []int32
+	excess []int64
+	count  []int32 // count[h] = number of nodes at height h (gap heuristic)
+	queue  []int32
+	inQ    []bool
+}
+
+// Name implements Solver.
+func (pr *PushRelabel) Name() string { return "push-relabel" }
+
+// MaxFlow implements Solver.
+func (pr *PushRelabel) MaxFlow(g *Network, source, sink int) int64 {
+	if source == sink {
+		return 0
+	}
+	n := g.numNodes
+	pr.height = make([]int32, n)
+	pr.excess = make([]int64, n)
+	pr.count = make([]int32, 2*n+1)
+	pr.queue = pr.queue[:0]
+	pr.inQ = make([]bool, n)
+
+	before := g.OutFlow(source)
+
+	pr.height[source] = int32(n)
+	pr.count[0] = int32(n - 1)
+	pr.count[n] = 1
+
+	// Saturate all source edges to form the initial preflow.
+	for _, e := range g.adj[source] {
+		if e%2 != 0 || g.cap[e] <= 0 {
+			continue
+		}
+		w := g.to[e]
+		delta := g.cap[e]
+		g.cap[e] = 0
+		g.cap[e^1] += delta
+		pr.excess[w] += delta
+		if int(w) != sink && int(w) != source && !pr.inQ[w] {
+			pr.inQ[w] = true
+			pr.queue = append(pr.queue, w)
+		}
+	}
+
+	for len(pr.queue) > 0 {
+		v := pr.queue[0]
+		pr.queue = pr.queue[1:]
+		pr.inQ[v] = false
+		pr.discharge(g, v, source, sink)
+	}
+
+	return g.OutFlow(source) - before
+}
+
+func (pr *PushRelabel) discharge(g *Network, v int32, source, sink int) {
+	for pr.excess[v] > 0 {
+		pushed := false
+		for _, e := range g.adj[v] {
+			if g.cap[e] <= 0 {
+				continue
+			}
+			w := g.to[e]
+			if pr.height[v] != pr.height[w]+1 {
+				continue
+			}
+			delta := pr.excess[v]
+			if g.cap[e] < delta {
+				delta = g.cap[e]
+			}
+			g.cap[e] -= delta
+			g.cap[e^1] += delta
+			pr.excess[v] -= delta
+			pr.excess[w] += delta
+			if int(w) != source && int(w) != sink && !pr.inQ[w] {
+				pr.inQ[w] = true
+				pr.queue = append(pr.queue, w)
+			}
+			if pr.excess[v] == 0 {
+				pushed = true
+				break
+			}
+		}
+		if pushed {
+			return
+		}
+		// Relabel v to one more than its lowest admissible neighbor.
+		oldH := pr.height[v]
+		minH := int32(2*g.numNodes + 5)
+		for _, e := range g.adj[v] {
+			if g.cap[e] > 0 && pr.height[g.to[e]] < minH {
+				minH = pr.height[g.to[e]]
+			}
+		}
+		if minH >= int32(2*g.numNodes) {
+			// No residual edge at all: excess is stranded (flows back later
+			// via reverse edges already handled by heights >= n).
+			return
+		}
+		pr.count[oldH]--
+		newH := minH + 1
+		pr.height[v] = newH
+		pr.count[newH]++
+		// Gap heuristic: if no node remains at oldH, every node above oldH
+		// (except the source) can never reach the sink; lift them past n.
+		if pr.count[oldH] == 0 && oldH < int32(g.numNodes) {
+			for u := 0; u < g.numNodes; u++ {
+				h := pr.height[u]
+				if h > oldH && h <= int32(g.numNodes) && u != source {
+					pr.count[h]--
+					pr.height[u] = int32(g.numNodes + 1)
+					pr.count[g.numNodes+1]++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package netsim is a deterministic event-driven network simulator: nodes
+// exchange messages with configurable latency and jitter, driven by a
+// single event heap. It is the substrate for the decentralized matching
+// protocol (package protocol, experiment E12) — the paper notes its
+// result "does not yield directly a practical distributed algorithm", and
+// this pair of packages implements and evaluates one.
+//
+// Determinism: all latency jitter comes from the seeded RNG, and ties in
+// delivery time break by event sequence number, so a simulation is a pure
+// function of (seed, node programs).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// NodeID identifies a node.
+type NodeID int32
+
+// Message is a delivered payload.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+}
+
+// Handler is a node's program. OnMessage runs at each delivery; OnTimer at
+// each timer expiry. Both receive a Context for sending and scheduling.
+type Handler interface {
+	OnMessage(ctx *Context, msg Message)
+	OnTimer(ctx *Context, kind int)
+}
+
+// Context is the API nodes use during an event callback.
+type Context struct {
+	net  *Network
+	self NodeID
+}
+
+// Self returns the node running the callback.
+func (c *Context) Self() NodeID { return c.self }
+
+// Now returns the current simulated time.
+func (c *Context) Now() float64 { return c.net.now }
+
+// Send delivers payload to dst after the network's sampled latency.
+func (c *Context) Send(dst NodeID, payload any) {
+	c.net.send(c.self, dst, payload)
+}
+
+// SetTimer schedules OnTimer(kind) on this node after delay.
+func (c *Context) SetTimer(delay float64, kind int) {
+	if delay < 0 {
+		panic("netsim: negative timer delay")
+	}
+	c.net.push(event{at: c.net.now + delay, node: c.self, timer: true, timerKind: kind})
+}
+
+// Rand returns the node-visible RNG (shared, deterministic).
+func (c *Context) Rand() *stats.RNG { return c.net.rng }
+
+type event struct {
+	at        float64
+	seq       uint64
+	node      NodeID
+	timer     bool
+	timerKind int
+	msg       Message
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Config sets the latency model: delivery takes BaseLatency plus a
+// uniform jitter in [0, Jitter).
+type Config struct {
+	BaseLatency float64
+	Jitter      float64
+	Seed        uint64
+}
+
+// Network is the simulated network.
+type Network struct {
+	cfg      Config
+	rng      *stats.RNG
+	nodes    []Handler
+	now      float64
+	seq      uint64
+	events   eventHeap
+	sent     int64
+	delivered int64
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	if cfg.BaseLatency < 0 || cfg.Jitter < 0 {
+		panic("netsim: negative latency")
+	}
+	if cfg.BaseLatency == 0 && cfg.Jitter == 0 {
+		cfg.BaseLatency = 1 // zero-latency networks livelock trivially
+	}
+	return &Network{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+}
+
+// AddNode registers a handler and returns its ID.
+func (n *Network) AddNode(h Handler) NodeID {
+	n.nodes = append(n.nodes, h)
+	return NodeID(len(n.nodes) - 1)
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Now returns the current simulated time.
+func (n *Network) Now() float64 { return n.now }
+
+// MessagesSent returns the total messages sent so far.
+func (n *Network) MessagesSent() int64 { return n.sent }
+
+// MessagesDelivered returns the total messages delivered so far.
+func (n *Network) MessagesDelivered() int64 { return n.delivered }
+
+func (n *Network) send(from, to NodeID, payload any) {
+	if int(to) < 0 || int(to) >= len(n.nodes) {
+		panic(fmt.Sprintf("netsim: send to unknown node %d", to))
+	}
+	n.sent++
+	latency := n.cfg.BaseLatency
+	if n.cfg.Jitter > 0 {
+		latency += n.rng.Float64() * n.cfg.Jitter
+	}
+	n.push(event{at: n.now + latency, msg: Message{From: from, To: to, Payload: payload}, node: to})
+}
+
+func (n *Network) push(e event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.events, e)
+}
+
+// Timer schedules OnTimer(kind) on a node at absolute time `at` (used to
+// bootstrap protocols before any message flows).
+func (n *Network) Timer(node NodeID, at float64, kind int) {
+	if at < n.now {
+		panic("netsim: timer in the past")
+	}
+	n.push(event{at: at, node: node, timer: true, timerKind: kind})
+}
+
+// Step processes the next event; it returns false when no events remain.
+func (n *Network) Step() bool {
+	if n.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&n.events).(event)
+	n.now = e.at
+	ctx := &Context{net: n, self: e.node}
+	if e.timer {
+		n.nodes[e.node].OnTimer(ctx, e.timerKind)
+	} else {
+		n.delivered++
+		n.nodes[e.node].OnMessage(ctx, e.msg)
+	}
+	return true
+}
+
+// Run processes events until the queue drains or simulated time exceeds
+// `until`. It returns the number of events processed.
+func (n *Network) Run(until float64) int {
+	processed := 0
+	for n.events.Len() > 0 {
+		if n.events[0].at > until {
+			break
+		}
+		n.Step()
+		processed++
+	}
+	return processed
+}
+
+// RunAll drains every event (use with protocols guaranteed to quiesce).
+// maxEvents guards against livelock; it panics when exceeded.
+func (n *Network) RunAll(maxEvents int) int {
+	processed := 0
+	for n.Step() {
+		processed++
+		if processed > maxEvents {
+			panic(fmt.Sprintf("netsim: livelock — more than %d events", maxEvents))
+		}
+	}
+	return processed
+}

@@ -1,0 +1,213 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// echoNode replies to every ping with a pong; the origin counts pongs.
+type echoNode struct {
+	pings int
+	pongs int
+}
+
+type ping struct{ hop int }
+type pong struct{}
+
+func (e *echoNode) OnTimer(ctx *Context, kind int) {
+	ctx.Send(NodeID(kind), ping{})
+}
+
+func (e *echoNode) OnMessage(ctx *Context, msg Message) {
+	switch msg.Payload.(type) {
+	case ping:
+		e.pings++
+		ctx.Send(msg.From, pong{})
+	case pong:
+		e.pongs++
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	net := New(Config{BaseLatency: 1, Seed: 1})
+	a := net.AddNode(&echoNode{})
+	b := net.AddNode(&echoNode{})
+	net.Timer(a, 0, int(b)) // a pings b at t=0
+	net.RunAll(100)
+	nodeA := getNode(t, net, a)
+	nodeB := getNode(t, net, b)
+	if nodeB.pings != 1 || nodeA.pongs != 1 {
+		t.Fatalf("pings=%d pongs=%d", nodeB.pings, nodeA.pongs)
+	}
+	if net.MessagesSent() != 2 || net.MessagesDelivered() != 2 {
+		t.Fatalf("sent=%d delivered=%d", net.MessagesSent(), net.MessagesDelivered())
+	}
+	if net.Now() != 2 { // two hops of latency 1
+		t.Fatalf("now=%v, want 2", net.Now())
+	}
+}
+
+func getNode(t *testing.T, net *Network, id NodeID) *echoNode {
+	t.Helper()
+	// White-box access through the handler slice.
+	return net.nodes[id].(*echoNode)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, float64) {
+		net := New(Config{BaseLatency: 1, Jitter: 0.5, Seed: 99})
+		var ids []NodeID
+		for i := 0; i < 5; i++ {
+			ids = append(ids, net.AddNode(&echoNode{}))
+		}
+		// Everyone pings everyone.
+		for _, from := range ids {
+			for _, to := range ids {
+				if from != to {
+					net.Timer(from, 0, int(to))
+				}
+			}
+		}
+		net.RunAll(1000)
+		return net.MessagesSent(), net.Now()
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Fatalf("runs differ: (%d,%v) vs (%d,%v)", s1, t1, s2, t2)
+	}
+	if s1 != 40 { // 20 pings + 20 pongs
+		t.Fatalf("sent=%d, want 40", s1)
+	}
+}
+
+func TestEventOrderingByTime(t *testing.T) {
+	net := New(Config{BaseLatency: 1, Seed: 1})
+	rec := &recorder{}
+	id := net.AddNode(rec)
+	net.Timer(id, 5, 5)
+	net.Timer(id, 1, 1)
+	net.Timer(id, 3, 3)
+	net.RunAll(10)
+	if len(rec.kinds) != 3 || rec.kinds[0] != 1 || rec.kinds[1] != 3 || rec.kinds[2] != 5 {
+		t.Fatalf("timer order: %v", rec.kinds)
+	}
+}
+
+type recorder struct{ kinds []int }
+
+func (r *recorder) OnTimer(_ *Context, kind int) { r.kinds = append(r.kinds, kind) }
+func (r *recorder) OnMessage(*Context, Message)  {}
+
+func TestTieBreakBySequence(t *testing.T) {
+	net := New(Config{BaseLatency: 1, Seed: 1})
+	rec := &recorder{}
+	id := net.AddNode(rec)
+	for k := 0; k < 10; k++ {
+		net.Timer(id, 2, k) // all at the same instant
+	}
+	net.RunAll(100)
+	for k, got := range rec.kinds {
+		if got != k {
+			t.Fatalf("tie-break order broken: %v", rec.kinds)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	net := New(Config{BaseLatency: 1, Seed: 1})
+	rec := &recorder{}
+	id := net.AddNode(rec)
+	net.Timer(id, 1, 1)
+	net.Timer(id, 10, 10)
+	if n := net.Run(5); n != 1 {
+		t.Fatalf("processed %d events, want 1", n)
+	}
+	if len(rec.kinds) != 1 {
+		t.Fatalf("kinds=%v", rec.kinds)
+	}
+	if n := net.Run(20); n != 1 {
+		t.Fatalf("second run processed %d", n)
+	}
+}
+
+func TestLivelockGuard(t *testing.T) {
+	net := New(Config{BaseLatency: 1, Seed: 1})
+	id := net.AddNode(&selfPinger{})
+	net.Timer(id, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected livelock panic")
+		}
+	}()
+	net.RunAll(50)
+}
+
+type selfPinger struct{}
+
+func (s *selfPinger) OnTimer(ctx *Context, int2 int) { ctx.SetTimer(1, 0) }
+func (s *selfPinger) OnMessage(*Context, Message)    {}
+
+func TestPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { New(Config{BaseLatency: -1}) },
+		func() {
+			net := New(Config{BaseLatency: 1})
+			id := net.AddNode(&recorder{})
+			net.Timer(id, 1, 0)
+			net.Run(10)
+			net.Timer(id, 0, 0) // in the past
+		},
+		func() {
+			net := New(Config{BaseLatency: 1})
+			net.AddNode(&selfPinger{})
+			ctx := &Context{net: net, self: 0}
+			ctx.Send(99, nil) // unknown node
+		},
+		func() {
+			net := New(Config{BaseLatency: 1})
+			net.AddNode(&selfPinger{})
+			ctx := &Context{net: net, self: 0}
+			ctx.SetTimer(-1, 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestJitterWithinBounds(t *testing.T) {
+	net := New(Config{BaseLatency: 2, Jitter: 1, Seed: 7})
+	rec := &arrivalRecorder{}
+	a := net.AddNode(rec)
+	b := net.AddNode(rec)
+	_ = b
+	for i := 0; i < 100; i++ {
+		net.send(b, a, i)
+	}
+	net.RunAll(1000)
+	for _, at := range rec.times {
+		if at < 2 || at >= 3 {
+			t.Fatalf("delivery at %v outside [2,3)", at)
+		}
+	}
+}
+
+type arrivalRecorder struct{ times []float64 }
+
+func (r *arrivalRecorder) OnTimer(*Context, int) {}
+func (r *arrivalRecorder) OnMessage(ctx *Context, _ Message) {
+	r.times = append(r.times, ctx.Now())
+}
+
+func TestZeroLatencyDefaulted(t *testing.T) {
+	net := New(Config{})
+	if net.cfg.BaseLatency != 1 {
+		t.Fatalf("zero config should default base latency to 1, got %v", net.cfg.BaseLatency)
+	}
+}

@@ -1,0 +1,219 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netsim"
+)
+
+// Informed variants: before proposing, a requester polls all its
+// candidate servers for their free-slot counts, then proposes using one of
+// two policies:
+//
+//   - VariantHerd: strictly best-first (most advertised free slots). This
+//     is the naive use of load information, and it *herds*: every
+//     requester receives the same pre-proposal snapshot, converges on the
+//     same order, and floods the globally-freest servers — measurably
+//     worse than the blind protocol on skewed instances (experiment E12).
+//     The effect is the classic stale-load-information pathology.
+//   - VariantRandomInformed: propose to a uniformly random untried
+//     candidate that advertised free capacity (falling back to the rest
+//     when all advertised-free candidates are exhausted). Randomization
+//     breaks the herd while the poll still skips known-full servers.
+//
+// Experiment E12 compares blind, herd, and random-informed.
+
+// Variant selects the informed proposal policy.
+type Variant int
+
+const (
+	// VariantHerd proposes strictly best-first on the polled snapshot.
+	VariantHerd Variant = iota
+	// VariantRandomInformed proposes to a random advertised-free candidate.
+	VariantRandomInformed
+)
+
+type inquire struct{ request int32 }
+type freeSlots struct {
+	request int32
+	free    int64
+}
+
+// informedRequester polls, orders, then proposes.
+type informedRequester struct {
+	request    int32
+	candidates []int32
+	serverBase int
+	variant    Variant
+
+	replies  map[int32]int64
+	order    []int32
+	next     int
+	matched  int32
+	done     bool
+	polled   bool
+}
+
+func (r *informedRequester) OnTimer(ctx *netsim.Context, kind int) {
+	if kind != timerStart || r.polled {
+		return
+	}
+	r.polled = true
+	if len(r.candidates) == 0 {
+		r.done = true
+		return
+	}
+	r.replies = make(map[int32]int64, len(r.candidates))
+	for _, c := range r.candidates {
+		ctx.Send(netsim.NodeID(r.serverBase+int(c)), inquire{request: r.request})
+	}
+}
+
+func (r *informedRequester) OnMessage(ctx *netsim.Context, msg netsim.Message) {
+	switch m := msg.Payload.(type) {
+	case freeSlots:
+		if r.done || r.order != nil {
+			return // already proposing; late poll replies are ignored
+		}
+		r.replies[int32(int(msg.From)-r.serverBase)] = m.free
+		if len(r.replies) == len(r.candidates) {
+			r.buildOrder(ctx)
+			r.proposeNext(ctx)
+		}
+	case grant:
+		if m.request == r.request && !r.done {
+			r.matched = int32(int(msg.From) - r.serverBase)
+			r.done = true
+		}
+	case reject:
+		if m.request == r.request && !r.done {
+			r.proposeNext(ctx)
+		}
+	default:
+		panic(fmt.Sprintf("protocol: informed requester got %T", msg.Payload))
+	}
+}
+
+// buildOrder derives the proposal order from the polled snapshot
+// according to the variant.
+func (r *informedRequester) buildOrder(ctx *netsim.Context) {
+	r.order = append([]int32(nil), r.candidates...)
+	switch r.variant {
+	case VariantHerd:
+		sort.SliceStable(r.order, func(i, j int) bool {
+			fi, fj := r.replies[r.order[i]], r.replies[r.order[j]]
+			if fi != fj {
+				return fi > fj
+			}
+			return r.order[i] < r.order[j]
+		})
+	case VariantRandomInformed:
+		// Partition into advertised-free and advertised-full, shuffle each.
+		free := r.order[:0:len(r.order)]
+		var full []int32
+		for _, c := range r.candidates {
+			if r.replies[c] > 0 {
+				free = append(free, c)
+			} else {
+				full = append(full, c)
+			}
+		}
+		rng := ctx.Rand()
+		rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+		rng.Shuffle(len(full), func(i, j int) { full[i], full[j] = full[j], full[i] })
+		r.order = append(free, full...)
+	}
+}
+
+func (r *informedRequester) proposeNext(ctx *netsim.Context) {
+	if r.next >= len(r.order) {
+		r.done = true
+		return
+	}
+	target := r.order[r.next]
+	r.next++
+	ctx.Send(netsim.NodeID(r.serverBase+int(target)), propose{request: r.request})
+}
+
+// dedupe returns the distinct candidates in first-appearance order.
+func dedupe(cand []int32) []int32 {
+	seen := make(map[int32]struct{}, len(cand))
+	out := make([]int32, 0, len(cand))
+	for _, c := range cand {
+		if _, dup := seen[c]; !dup {
+			seen[c] = struct{}{}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// informedServer answers polls and grants like the plain server.
+type informedServer struct {
+	free int64
+}
+
+func (s *informedServer) OnTimer(*netsim.Context, int) {}
+
+func (s *informedServer) OnMessage(ctx *netsim.Context, msg netsim.Message) {
+	switch m := msg.Payload.(type) {
+	case inquire:
+		ctx.Send(msg.From, freeSlots{request: m.request, free: s.free})
+	case propose:
+		if s.free > 0 {
+			s.free--
+			ctx.Send(msg.From, grant{request: m.request})
+		} else {
+			ctx.Send(msg.From, reject{request: m.request})
+		}
+	default:
+		panic(fmt.Sprintf("protocol: informed server got %T", msg.Payload))
+	}
+}
+
+// RunInformed executes an informed variant on the instance.
+func RunInformed(inst Instance, cfg netsim.Config, variant Variant) Result {
+	net := netsim.New(cfg)
+	nR := len(inst.Candidates)
+	requesters := make([]*informedRequester, nR)
+	for i := range requesters {
+		requesters[i] = &informedRequester{
+			request: int32(i),
+			// Deduplicate: the poll counts one reply per distinct server,
+			// and duplicate proposals to the same server are pointless.
+			candidates: dedupe(inst.Candidates[i]),
+			serverBase: nR,
+			variant:    variant,
+			matched:    -1,
+		}
+		net.AddNode(requesters[i])
+	}
+	for _, c := range inst.Caps {
+		net.AddNode(&informedServer{free: c})
+	}
+	for i := range requesters {
+		net.Timer(netsim.NodeID(i), 0, timerStart)
+	}
+	maxEvents := 0
+	for _, cand := range inst.Candidates {
+		maxEvents += 4*len(cand) + 2 // poll + reply + propose + answer
+	}
+	events := net.RunAll(maxEvents + nR)
+
+	res := Result{
+		Assignments: make([]int32, nR),
+		Messages:    net.MessagesSent(),
+		Time:        net.Now(),
+		Events:      events,
+	}
+	for i, r := range requesters {
+		res.Assignments[i] = r.matched
+		if r.matched >= 0 {
+			res.Matched++
+		} else {
+			res.Unserved++
+		}
+	}
+	return res
+}

@@ -1,0 +1,149 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestInformedTrivialMatch(t *testing.T) {
+	inst := Instance{
+		Candidates: [][]int32{{0}, {0, 1}},
+		Caps:       []int64{1, 1},
+	}
+	res := RunInformed(inst, cfg(1), VariantRandomInformed)
+	if err := res.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 2 {
+		t.Fatalf("matched %d, want 2", res.Matched)
+	}
+}
+
+func TestInformedPrefersFreeServer(t *testing.T) {
+	// Two requests, both preferring the roomy server: the informed variant
+	// should split them across servers without any rejection (the blind
+	// variant would send both to candidate order position 0).
+	inst := Instance{
+		Candidates: [][]int32{{0, 1}, {0, 1}},
+		Caps:       []int64{1, 5},
+	}
+	res := RunInformed(inst, cfg(2), VariantHerd)
+	if err := res.Verify(inst); err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != 2 {
+		t.Fatalf("matched %d, want 2", res.Matched)
+	}
+	// Both proposals should have targeted server 1 first (5 free slots),
+	// so server 0 holds at most one request.
+	count0 := 0
+	for _, a := range res.Assignments {
+		if a == 0 {
+			count0++
+		}
+	}
+	if count0 > 1 {
+		t.Fatalf("informed variant overloaded the tight server: %v", res.Assignments)
+	}
+}
+
+func TestInformedEmptyCandidates(t *testing.T) {
+	inst := Instance{Candidates: [][]int32{{}}, Caps: []int64{1}}
+	res := RunInformed(inst, cfg(3), VariantRandomInformed)
+	if res.Matched != 0 || res.Unserved != 1 {
+		t.Fatalf("empty-candidate request should be unserved: %+v", res)
+	}
+}
+
+func TestInformedDeterministic(t *testing.T) {
+	inst := Instance{
+		Candidates: [][]int32{{0, 1}, {1, 0}, {0, 1}},
+		Caps:       []int64{1, 2},
+	}
+	a := RunInformed(inst, cfg(6), VariantRandomInformed)
+	b := RunInformed(inst, cfg(6), VariantRandomInformed)
+	if a.Matched != b.Matched || a.Messages != b.Messages {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestInformedCostsMoreMessages(t *testing.T) {
+	inst := Instance{
+		Candidates: [][]int32{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}},
+		Caps:       []int64{1, 1, 1},
+	}
+	blind := Run(inst, cfg(7))
+	informed := RunInformed(inst, cfg(7), VariantRandomInformed)
+	if informed.Messages <= blind.Messages {
+		t.Fatalf("informed (%d msgs) should cost more than blind (%d)",
+			informed.Messages, blind.Messages)
+	}
+	if 2*informed.Matched < blind.Matched {
+		t.Fatalf("informed matched %d catastrophically below blind %d", informed.Matched, blind.Matched)
+	}
+}
+
+func TestInformedDuplicateCandidates(t *testing.T) {
+	// Duplicate candidate entries must not stall the poll phase (a map
+	// collapses them, so the reply count must be taken over distinct
+	// servers). Regression test for a real bug.
+	// A single request whose candidate list repeats one server: if the
+	// poll phase counted raw candidates it would wait for 3 replies from
+	// 1 server and stall forever.
+	inst := Instance{
+		Candidates: [][]int32{{0, 0, 0}},
+		Caps:       []int64{1},
+	}
+	for _, v := range []Variant{VariantHerd, VariantRandomInformed} {
+		res := RunInformed(inst, cfg(8), v)
+		if err := res.Verify(inst); err != nil {
+			t.Fatal(err)
+		}
+		if res.Matched != 1 {
+			t.Fatalf("variant %v: matched %d, want 1 (duplicates stalled the poll?)", v, res.Matched)
+		}
+	}
+}
+
+// variantFor alternates variants across property-test seeds.
+func variantFor(seed uint64) Variant {
+	if seed%2 == 0 {
+		return VariantHerd
+	}
+	return VariantRandomInformed
+}
+
+// Property: the informed variant is always valid and maximal.
+func TestQuickInformedValidMaximal(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		inst := randomInstance(rng)
+		res := RunInformed(inst, cfg(seed), variantFor(seed))
+		return res.Verify(inst) == nil && res.Maximality(inst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: informed never matches fewer than half the optimum either.
+func TestQuickInformedHalfOptimal(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		inst := randomInstance(rng)
+		res := RunInformed(inst, cfg(seed), variantFor(seed))
+		m := NewExactCount(inst)
+		return 2*res.Matched >= m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// NewExactCount computes the optimal matching size for tests.
+func NewExactCount(inst Instance) int {
+	m := newExactMatcher(inst)
+	return m
+}

@@ -1,0 +1,312 @@
+// Package report renders experiment results as aligned text tables,
+// Markdown, and CSV. The benchmark harness and the vodbench binary use it
+// to print every reproduced table and figure series in a uniform format.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with one header row. Cells are stored as
+// strings; use the Add* helpers for formatting numbers consistently.
+type Table struct {
+	Title string
+	Notes []string // free-form caption lines printed under the title
+	Cols  []string
+	Rows  [][]string
+}
+
+// New creates an empty table with the given title and column headers.
+func New(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddNote appends a caption line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddRow appends a row of raw cells. It panics if the arity does not match
+// the header, which catches experiment-harness bugs early.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Cols) {
+		panic(fmt.Sprintf("report: row has %d cells, table %q has %d columns", len(cells), t.Title, len(t.Cols)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowValues appends a row, formatting each value with Cell.
+func (t *Table) AddRowValues(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = Cell(v)
+	}
+	t.AddRow(cells...)
+}
+
+// Cell formats a single value for table display.
+func Cell(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x != x: // NaN
+		return "NaN"
+	case x != 0 && (x < 1e-3 && x > -1e-3 || x >= 1e7 || x <= -1e7):
+		return fmt.Sprintf("%.3e", x)
+	case x == float64(int64(x)):
+		return fmt.Sprintf("%d", int64(x))
+	default:
+		return fmt.Sprintf("%.4f", x)
+	}
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   %s\n", n)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Text renders the table to a string.
+func (t *Table) Text() string {
+	var b strings.Builder
+	_ = t.WriteText(&b) // strings.Builder never errors
+	return b.String()
+}
+
+// WriteMarkdown renders a GitHub-flavored Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "> %s\n", n)
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+	}
+	b.WriteString("| " + strings.Join(t.Cols, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Cols)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders RFC-4180-ish CSV (quotes cells containing separators).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is a named (x, y) sequence — the unit of "figure" reproduction.
+// A figure is one or more series over a common x-axis.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Figure groups series sharing an x-axis, mirroring a paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries creates, registers, and returns a named series.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Table converts the figure to a table with one x column and one column per
+// series (points matched by index; series may have different lengths).
+func (f *Figure) Table() *Table {
+	cols := append([]string{f.XLabel}, make([]string, len(f.Series))...)
+	for i, s := range f.Series {
+		cols[i+1] = s.Name
+	}
+	t := New(f.Title, cols...)
+	t.AddNote("y-axis: %s", f.YLabel)
+	n := 0
+	for _, s := range f.Series {
+		if s.Len() > n {
+			n = s.Len()
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, len(cols))
+		row[0] = ""
+		for j, s := range f.Series {
+			if i < s.Len() {
+				if row[0] == "" {
+					row[0] = formatFloat(s.X[i])
+				}
+				row[j+1] = formatFloat(s.Y[i])
+			} else {
+				row[j+1] = ""
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Text renders the figure as its table form.
+func (f *Figure) Text() string { return f.Table().Text() }
+
+// ASCIIPlot renders a crude monochrome scatter of the first series, useful
+// for eyeballing shapes in terminal output. Width/height are in characters.
+func (f *Figure) ASCIIPlot(width, height int) string {
+	if len(f.Series) == 0 || width < 8 || height < 4 {
+		return ""
+	}
+	minX, maxX, minY, maxY := rangeOf(f.Series)
+	if !(maxX > minX) {
+		maxX = minX + 1
+	}
+	if !(maxY > minY) {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range f.Series {
+		mark := marks[si%len(marks)]
+		for i := 0; i < s.Len(); i++ {
+			cx := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			cy := int(float64(height-1) * (s.Y[i] - minY) / (maxY - minY))
+			grid[height-1-cy][cx] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [y: %s in %.4g..%.4g]\n", f.Title, f.YLabel, minY, maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " x: %s in %.4g..%.4g", f.XLabel, minX, maxX)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "   [%c] %s", marks[si%len(marks)], s.Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func rangeOf(series []*Series) (minX, maxX, minY, maxY float64) {
+	first := true
+	for _, s := range series {
+		for i := 0; i < s.Len(); i++ {
+			if first {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := New("demo", "a", "bbbb")
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	out := tb.Text()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns must align: header and rows share prefix widths.
+	if !strings.HasPrefix(lines[1], "a  ") {
+		t.Errorf("header misaligned: %q", lines[1])
+	}
+}
+
+func TestTableArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong arity")
+		}
+	}()
+	New("x", "a", "b").AddRow("only-one")
+}
+
+func TestAddRowValuesFormatting(t *testing.T) {
+	tb := New("fmt", "s", "f", "i", "small", "big")
+	tb.AddRowValues("str", 1.5, 42, 0.0000123, 3.5e7)
+	row := tb.Rows[0]
+	if row[0] != "str" {
+		t.Errorf("string cell: %q", row[0])
+	}
+	if row[1] != "1.5000" {
+		t.Errorf("float cell: %q", row[1])
+	}
+	if row[2] != "42" {
+		t.Errorf("int cell: %q", row[2])
+	}
+	if !strings.Contains(row[3], "e-") {
+		t.Errorf("small float should be scientific: %q", row[3])
+	}
+	if !strings.Contains(row[4], "e+") {
+		t.Errorf("big float should be scientific: %q", row[4])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("md", "x", "y")
+	tb.AddNote("a note")
+	tb.AddRow("1", "2")
+	var b strings.Builder
+	if err := tb.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### md", "> a note", "| x | y |", "|---|---|", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := New("csv", "a", "b")
+	tb.AddRow(`plain`, `has,comma`)
+	tb.AddRow(`has"quote`, "has\nnewline")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+}
+
+func TestSeriesAndFigure(t *testing.T) {
+	f := NewFigure("fig", "u", "catalog")
+	s1 := f.AddSeries("measured")
+	s2 := f.AddSeries("bound")
+	s1.Add(1.1, 10)
+	s1.Add(1.5, 50)
+	s2.Add(1.1, 8)
+	if s1.Len() != 2 || s2.Len() != 1 {
+		t.Fatalf("series lengths wrong: %d %d", s1.Len(), s2.Len())
+	}
+	tb := f.Table()
+	if len(tb.Cols) != 3 || tb.Cols[0] != "u" || tb.Cols[1] != "measured" {
+		t.Fatalf("figure table columns: %v", tb.Cols)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("figure table rows: %d", len(tb.Rows))
+	}
+	if tb.Rows[1][2] != "" {
+		t.Errorf("short series should pad with empty cell, got %q", tb.Rows[1][2])
+	}
+	if !strings.Contains(f.Text(), "fig") {
+		t.Error("figure text missing title")
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	f := NewFigure("plot", "x", "y")
+	s := f.AddSeries("s")
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	out := f.ASCIIPlot(40, 10)
+	if !strings.Contains(out, "*") {
+		t.Errorf("plot has no marks:\n%s", out)
+	}
+	if out2 := f.ASCIIPlot(2, 2); out2 != "" {
+		t.Error("tiny plot should be empty")
+	}
+	empty := NewFigure("e", "x", "y")
+	if empty.ASCIIPlot(40, 10) != "" {
+		t.Error("empty figure should render nothing")
+	}
+}
+
+func TestASCIIPlotDegenerateRange(t *testing.T) {
+	f := NewFigure("flat", "x", "y")
+	s := f.AddSeries("s")
+	s.Add(1, 5)
+	s.Add(1, 5) // zero x-range and y-range
+	if out := f.ASCIIPlot(20, 5); !strings.Contains(out, "*") {
+		t.Errorf("degenerate plot should still mark points:\n%s", out)
+	}
+}

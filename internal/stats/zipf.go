@@ -1,0 +1,60 @@
+package stats
+
+import "math"
+
+// Zipf samples from a Zipf(s) distribution over {0, 1, ..., n-1}: item i is
+// drawn with probability proportional to 1/(i+1)^s. Video-on-demand
+// popularity is classically modeled as Zipf-like, so the workload
+// generators use this for realistic (non-adversarial) demand mixes.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n items with exponent s >= 0 (s = 0 is the
+// uniform distribution). It panics if n <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one item index using the provided generator.
+func (z *Zipf) Sample(r *RNG) int {
+	x := r.Float64()
+	// Binary search for the first cdf entry >= x.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability of item i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

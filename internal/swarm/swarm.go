@@ -1,0 +1,137 @@
+// Package swarm tracks per-video swarm membership, enforces the paper's
+// maximal swarm growth bound (f(t+1) ≤ ⌈max{f(t),1}·µ⌉, Section 1.1), and
+// maintains the per-video round-robin counters that balance preloading
+// requests over stripes (Section 3).
+package swarm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/video"
+)
+
+// Tracker follows swarm sizes across rounds. A box is a member of video
+// v's swarm for exactly T rounds after entering.
+type Tracker struct {
+	mu      float64
+	t       int // duration of membership (the video length T)
+	m       int
+	round   int
+	sizes   []int   // current swarm size per video
+	prev    []int   // swarm size at the end of the previous round
+	entered []int   // entries already admitted this round
+	counter []int64 // preload round-robin counter per video
+	expiry  [][]int // per video, entry rounds of current members (FIFO)
+}
+
+// NewTracker creates a tracker for m videos of duration t rounds with
+// growth bound mu ≥ 1.
+func NewTracker(m, t int, mu float64) *Tracker {
+	if m <= 0 || t <= 0 || mu < 1 {
+		panic(fmt.Sprintf("swarm: invalid tracker m=%d t=%d µ=%v", m, t, mu))
+	}
+	return &Tracker{
+		mu:      mu,
+		t:       t,
+		m:       m,
+		sizes:   make([]int, m),
+		prev:    make([]int, m),
+		entered: make([]int, m),
+		counter: make([]int64, m),
+		expiry:  make([][]int, m),
+	}
+}
+
+// BeginRound advances the tracker to the given round: it snapshots the
+// previous sizes (the f(t) of the growth bound) and expires members whose
+// T rounds have elapsed. Rounds must be strictly increasing.
+func (tr *Tracker) BeginRound(round int) {
+	if round <= tr.round && round != 0 {
+		panic(fmt.Sprintf("swarm: BeginRound(%d) after round %d", round, tr.round))
+	}
+	tr.round = round
+	for v := 0; v < tr.m; v++ {
+		tr.prev[v] = tr.sizes[v]
+		tr.entered[v] = 0
+		q := tr.expiry[v]
+		for len(q) > 0 && q[0]+tr.t <= round {
+			q = q[1:]
+			tr.sizes[v]--
+		}
+		tr.expiry[v] = q
+	}
+}
+
+// Size returns the current swarm size of video v.
+func (tr *Tracker) Size(v video.ID) int { return tr.sizes[v] }
+
+// Allowance returns how many more boxes may enter v's swarm this round
+// without violating the growth bound.
+func (tr *Tracker) Allowance(v video.ID) int {
+	f := tr.prev[v]
+	base := f
+	if base < 1 {
+		base = 1
+	}
+	limit := int(math.Ceil(float64(base) * tr.mu))
+	room := limit - tr.sizes[v]
+	if room < 0 {
+		return 0
+	}
+	return room
+}
+
+// Enter admits one box into v's swarm and returns the preload stripe index
+// assigned by the round-robin counter (Section 3: the p-th box entering
+// preloads stripe p mod c). It returns an error when the growth bound
+// would be violated.
+func (tr *Tracker) Enter(v video.ID, c int) (int, error) {
+	if tr.Allowance(v) <= 0 {
+		return 0, fmt.Errorf("swarm: growth bound µ=%v reached for video %d at round %d (size %d)",
+			tr.mu, v, tr.round, tr.sizes[v])
+	}
+	idx := int(tr.counter[v] % int64(c))
+	tr.counter[v]++
+	tr.sizes[v]++
+	tr.entered[v]++
+	tr.expiry[v] = append(tr.expiry[v], tr.round)
+	return idx, nil
+}
+
+// EnteredThisRound returns how many boxes entered v's swarm this round.
+func (tr *Tracker) EnteredThisRound(v video.ID) int { return tr.entered[v] }
+
+// Counter returns the total number of entries ever admitted to v's swarm.
+func (tr *Tracker) Counter(v video.ID) int64 { return tr.counter[v] }
+
+// ActiveSwarms returns the number of videos with a non-empty swarm.
+func (tr *Tracker) ActiveSwarms() int {
+	n := 0
+	for _, s := range tr.sizes {
+		if s > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalViewers returns the total swarm membership over all videos.
+func (tr *Tracker) TotalViewers() int {
+	n := 0
+	for _, s := range tr.sizes {
+		n += s
+	}
+	return n
+}
+
+// MaxSize returns the largest current swarm size.
+func (tr *Tracker) MaxSize() int {
+	best := 0
+	for _, s := range tr.sizes {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}

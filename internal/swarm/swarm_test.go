@@ -1,0 +1,222 @@
+package swarm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker(3, 10, 2)
+	tr.BeginRound(0)
+	if tr.Size(0) != 0 || tr.ActiveSwarms() != 0 {
+		t.Fatal("fresh tracker not empty")
+	}
+	// Empty swarm: allowance ⌈1·2⌉ = 2.
+	if a := tr.Allowance(0); a != 2 {
+		t.Fatalf("allowance = %d, want 2", a)
+	}
+	if _, err := tr.Enter(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Enter(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Enter(0, 4); err == nil {
+		t.Fatal("third entry should exceed growth bound")
+	}
+	if tr.Size(0) != 2 || tr.EnteredThisRound(0) != 2 {
+		t.Fatalf("size=%d entered=%d", tr.Size(0), tr.EnteredThisRound(0))
+	}
+}
+
+func TestGrowthSequence(t *testing.T) {
+	// µ=2: sizes can at most double (rounded up) each round.
+	tr := NewTracker(1, 100, 2)
+	expect := []int{2, 4, 8, 16, 32}
+	for round, want := range expect {
+		tr.BeginRound(round)
+		admitted := 0
+		for tr.Allowance(0) > 0 {
+			if _, err := tr.Enter(0, 4); err != nil {
+				t.Fatal(err)
+			}
+			admitted++
+		}
+		if tr.Size(0) != want {
+			t.Fatalf("round %d: size %d, want %d", round, tr.Size(0), want)
+		}
+		_ = admitted
+	}
+}
+
+func TestFractionalGrowth(t *testing.T) {
+	// µ=1.5 from size 1: ⌈1.5⌉=2, ⌈3⌉=3, ⌈4.5⌉=5...
+	tr := NewTracker(1, 100, 1.5)
+	tr.BeginRound(0)
+	tr.Enter(0, 4)
+	sizes := []int{2, 3, 5, 8, 12}
+	for i, want := range sizes {
+		tr.BeginRound(i + 1)
+		for tr.Allowance(0) > 0 {
+			tr.Enter(0, 4)
+		}
+		if tr.Size(0) != want {
+			t.Fatalf("round %d: size %d, want %d", i+1, tr.Size(0), want)
+		}
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	tr := NewTracker(1, 5, 4)
+	tr.BeginRound(0)
+	tr.Enter(0, 2)
+	tr.Enter(0, 2)
+	for r := 1; r < 5; r++ {
+		tr.BeginRound(r)
+		if tr.Size(0) != 2 {
+			t.Fatalf("round %d: size %d, want 2", r, tr.Size(0))
+		}
+	}
+	tr.BeginRound(5) // entries at round 0 expire when 0+5 <= 5
+	if tr.Size(0) != 0 {
+		t.Fatalf("expired members linger: size %d", tr.Size(0))
+	}
+}
+
+func TestExpiryFreesAllowance(t *testing.T) {
+	tr := NewTracker(1, 3, 1) // µ=1 exactly: a swarm can never exceed 1
+	tr.BeginRound(0)
+	if _, err := tr.Enter(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	tr.BeginRound(1)
+	if tr.Allowance(0) != 0 {
+		t.Fatal("µ=1 should not allow growth beyond 1")
+	}
+	tr.BeginRound(3) // member expires (0+3 <= 3)
+	// prev size was 1, allowance = ⌈1·1⌉ − 0 = 1: a fresh entry is legal.
+	if _, err := tr.Enter(0, 2); err != nil {
+		t.Fatalf("entry after expiry refused: %v", err)
+	}
+}
+
+func TestRoundRobinCounter(t *testing.T) {
+	tr := NewTracker(2, 100, 16)
+	tr.BeginRound(0)
+	c := 4
+	var got []int
+	for i := 0; i < 6; i++ {
+		idx, err := tr.Enter(0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, idx)
+	}
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("preload sequence %v, want %v", got, want)
+		}
+	}
+	// Independent counter for other videos.
+	if idx, _ := tr.Enter(1, c); idx != 0 {
+		t.Fatalf("video 1 counter should start at 0, got %d", idx)
+	}
+	if tr.Counter(0) != 6 || tr.Counter(1) != 1 {
+		t.Fatalf("counters: %d, %d", tr.Counter(0), tr.Counter(1))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	tr := NewTracker(3, 10, 4)
+	tr.BeginRound(0)
+	tr.Enter(0, 2)
+	tr.Enter(0, 2)
+	tr.Enter(2, 2)
+	if tr.ActiveSwarms() != 2 {
+		t.Errorf("ActiveSwarms = %d", tr.ActiveSwarms())
+	}
+	if tr.TotalViewers() != 3 {
+		t.Errorf("TotalViewers = %d", tr.TotalViewers())
+	}
+	if tr.MaxSize() != 2 {
+		t.Errorf("MaxSize = %d", tr.MaxSize())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewTracker(0, 10, 2) },
+		func() { NewTracker(1, 0, 2) },
+		func() { NewTracker(1, 10, 0.5) },
+		func() {
+			tr := NewTracker(1, 10, 2)
+			tr.BeginRound(5)
+			tr.BeginRound(3)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: under greedy admission, the measured growth never exceeds
+// ⌈max{f,1}·µ⌉ at any round.
+func TestQuickGrowthBoundHolds(t *testing.T) {
+	f := func(seed uint64, muRaw uint8) bool {
+		mu := 1 + float64(muRaw%30)/10 // 1.0 .. 3.9
+		tr := NewTracker(1, 1000, mu)  // long T: no expiry interference
+		prev := 0
+		x := seed
+		for round := 0; round < 12; round++ {
+			tr.BeginRound(round)
+			// Admit a pseudo-random number of entries up to the allowance.
+			x = x*6364136223846793005 + 1442695040888963407
+			want := int(x % 7)
+			for i := 0; i < want && tr.Allowance(0) > 0; i++ {
+				if _, err := tr.Enter(0, 4); err != nil {
+					return false
+				}
+			}
+			base := prev
+			if base < 1 {
+				base = 1
+			}
+			if tr.Size(0) > int(math.Ceil(float64(base)*mu)) {
+				return false
+			}
+			prev = tr.Size(0)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Enter never over-admits — Allowance is consistent with Enter's
+// error behaviour.
+func TestQuickAllowanceConsistent(t *testing.T) {
+	f := func(muRaw uint8) bool {
+		mu := 1 + float64(muRaw%20)/10
+		tr := NewTracker(1, 100, mu)
+		tr.BeginRound(0)
+		for tr.Allowance(0) > 0 {
+			if _, err := tr.Enter(0, 3); err != nil {
+				return false
+			}
+		}
+		_, err := tr.Enter(0, 3)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

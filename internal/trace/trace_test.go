@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/allocation"
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+func buildSystem(t *testing.T, seed uint64) *core.System {
+	t.Helper()
+	alloc, _, err := allocation.HomogeneousPermutation(stats.NewRNG(seed), 20, 2, 4, 15, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]float64, 20)
+	for i := range uploads {
+		uploads[i] = 2.5
+	}
+	sys, err := core.NewSystem(core.Config{Alloc: alloc, Uploads: uploads, Mu: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRecordAndReplayIdentical(t *testing.T) {
+	// Record a run, replay it on an identically-built system: reports must
+	// agree exactly.
+	rec := NewRecorder(&adversary.Zipf{RNG: stats.NewRNG(5), P: 0.4, S: 0.9})
+	sys1 := buildSystem(t, 3)
+	rep1, err := sys1.Run(rec, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Trace.Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	sys2 := buildSystem(t, 3)
+	rep2, err := sys2.Run(NewReplayer(&rec.Trace), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Admitted != rep2.Admitted || rep1.CompletedViewings != rep2.CompletedViewings ||
+		rep1.MeanUtilization != rep2.MeanUtilization {
+		t.Fatalf("replay diverged: %+v vs %+v", rep1, rep2)
+	}
+}
+
+func TestReplayOnDifferentAllocation(t *testing.T) {
+	// The point of traces: same demands, different allocation seed.
+	rec := NewRecorder(&adversary.Zipf{RNG: stats.NewRNG(5), P: 0.4, S: 0.9})
+	sys1 := buildSystem(t, 3)
+	if _, err := sys1.Run(rec, 60); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := buildSystem(t, 99) // different allocation
+	rep2, err := sys2.Run(NewReplayer(&rec.Trace), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Demands != int64(rec.Trace.Len()) {
+		t.Fatalf("replayed %d demands, trace has %d", rep2.Demands, rec.Trace.Len())
+	}
+}
+
+func TestRewind(t *testing.T) {
+	tr := &Trace{Events: []Event{{Round: 1, Box: 0, Video: 0}}}
+	r := NewReplayer(tr)
+	if got := r.Next(nil, 1); len(got) != 1 {
+		t.Fatalf("first pass: %v", got)
+	}
+	if got := r.Next(nil, 1); len(got) != 0 {
+		t.Fatalf("exhausted replayer emitted: %v", got)
+	}
+	r.Rewind()
+	if got := r.Next(nil, 1); len(got) != 1 {
+		t.Fatalf("after rewind: %v", got)
+	}
+}
+
+func TestReplayDropsStaleEvents(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Round: 1, Box: 0, Video: 0},
+		{Round: 5, Box: 1, Video: 1},
+	}}
+	r := NewReplayer(tr)
+	// Replay starts at round 3: the round-1 event is stale and dropped.
+	if got := r.Next(nil, 3); len(got) != 0 {
+		t.Fatalf("stale event emitted: %v", got)
+	}
+	if got := r.Next(nil, 5); len(got) != 1 || got[0].Box != 1 {
+		t.Fatalf("round-5 event wrong: %v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Meta: "test workload",
+		Events: []Event{
+			{Round: 1, Box: 3, Video: 7, Born: 1},
+			{Round: 2, Box: 4, Video: 1},
+		},
+	}
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != tr.Meta || got.Len() != tr.Len() {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"events":[{"round":-1,"box":0,"video":0}]}`)); err == nil {
+		t.Fatal("negative round accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Round: 1, Box: 3, Video: 7, Born: 1},
+		{Round: 2, Box: 4, Video: 1},
+		{Round: 2, Box: 5, Video: 2},
+	}}
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("lost events: %d", got.Len())
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                         // no header
+		"x,y\n1,2",                 // wrong header
+		"round,box,video,born\n1,2", // wrong arity
+		"round,box,video,born\na,b,c,d", // non-numeric
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNormalizeSorts(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Round: 5, Box: 1},
+		{Round: 1, Box: 2},
+		{Round: 5, Box: 3},
+		{Round: 1, Box: 4},
+	}}
+	tr.Normalize()
+	if tr.Events[0].Round != 1 || tr.Events[1].Round != 1 || tr.Events[2].Round != 5 {
+		t.Fatalf("not sorted: %+v", tr.Events)
+	}
+	// Stability: box 2 before box 4 (insertion order within round 1).
+	if tr.Events[0].Box != 2 || tr.Events[1].Box != 4 {
+		t.Fatalf("not stable: %+v", tr.Events)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Round: 1, Box: 0, Video: 0},
+		{Round: 1, Box: 1, Video: 0},
+		{Round: 1, Box: 2, Video: 1},
+		{Round: 4, Box: 0, Video: 2},
+	}}
+	s := tr.Summarize()
+	if s.Events != 4 || s.Rounds != 4 || s.DistinctBoxes != 3 || s.DistinctVids != 3 || s.PeakPerRound != 3 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	empty := (&Trace{}).Summarize()
+	if empty.Events != 0 || empty.Rounds != 0 {
+		t.Fatalf("empty stats wrong: %+v", empty)
+	}
+}
+
+// Property: JSON round trip is lossless for arbitrary valid traces.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		tr := &Trace{}
+		n := int(nRaw % 50)
+		for i := 0; i < n; i++ {
+			tr.Events = append(tr.Events, Event{
+				Round: rng.Intn(100),
+				Box:   rng.Intn(20),
+				Video: video.ID(rng.Intn(10)),
+				Born:  rng.Intn(5),
+			})
+		}
+		var b strings.Builder
+		if err := tr.WriteJSON(&b); err != nil {
+			return false
+		}
+		got, err := ReadJSON(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if got.Len() != tr.Len() {
+			return false
+		}
+		// ReadJSON normalizes; compare as multisets by re-sorting both.
+		tr.Normalize()
+		for i := range tr.Events {
+			if got.Events[i].Round != tr.Events[i].Round {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

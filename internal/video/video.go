@@ -1,0 +1,73 @@
+// Package video models the catalog: m videos of equal duration T rounds,
+// each encoded into c stripes of rate 1/c (paper Section 1.1). Stripes are
+// identified by dense integers video*c + index so that allocation tables
+// and request bookkeeping can use flat slices.
+package video
+
+import "fmt"
+
+// ID identifies a video in [0, M).
+type ID int32
+
+// StripeID identifies a stripe in [0, M*C).
+type StripeID int32
+
+// None marks the absence of a video (an idle box).
+const None ID = -1
+
+// Catalog describes the stored video set.
+type Catalog struct {
+	M int // number of distinct videos
+	C int // stripes per video
+	T int // video duration in rounds (also cache window length)
+}
+
+// NewCatalog validates and builds a catalog description.
+func NewCatalog(m, c, t int) (Catalog, error) {
+	if m <= 0 || c <= 0 || t <= 0 {
+		return Catalog{}, fmt.Errorf("video: invalid catalog m=%d c=%d t=%d", m, c, t)
+	}
+	return Catalog{M: m, C: c, T: t}, nil
+}
+
+// MustCatalog is NewCatalog for static configuration; it panics on error.
+func MustCatalog(m, c, t int) Catalog {
+	cat, err := NewCatalog(m, c, t)
+	if err != nil {
+		panic(err)
+	}
+	return cat
+}
+
+// NumStripes returns the total number of distinct stripes, m*c.
+func (cat Catalog) NumStripes() int { return cat.M * cat.C }
+
+// Stripe returns the StripeID of stripe index idx of video v.
+func (cat Catalog) Stripe(v ID, idx int) StripeID {
+	if v < 0 || int(v) >= cat.M || idx < 0 || idx >= cat.C {
+		panic(fmt.Sprintf("video: stripe (%d,%d) outside catalog m=%d c=%d", v, idx, cat.M, cat.C))
+	}
+	return StripeID(int(v)*cat.C + idx)
+}
+
+// VideoOf returns the video a stripe belongs to.
+func (cat Catalog) VideoOf(s StripeID) ID { return ID(int(s) / cat.C) }
+
+// IndexOf returns a stripe's index within its video.
+func (cat Catalog) IndexOf(s StripeID) int { return int(s) % cat.C }
+
+// Valid reports whether s is a stripe of this catalog.
+func (cat Catalog) Valid(s StripeID) bool { return s >= 0 && int(s) < cat.NumStripes() }
+
+// ChunkCount returns the number of per-round chunks of one stripe: one
+// chunk is the data a viewer consumes from one stripe in one round, so a
+// stripe has T chunks.
+func (cat Catalog) ChunkCount() int { return cat.T }
+
+// StripeRate returns the stripe rate relative to the video bitrate, 1/c.
+func (cat Catalog) StripeRate() float64 { return 1 / float64(cat.C) }
+
+// String implements fmt.Stringer.
+func (cat Catalog) String() string {
+	return fmt.Sprintf("catalog{m=%d videos, c=%d stripes, T=%d rounds}", cat.M, cat.C, cat.T)
+}

@@ -1,0 +1,115 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCatalogValidation(t *testing.T) {
+	if _, err := NewCatalog(10, 4, 100); err != nil {
+		t.Fatalf("valid catalog rejected: %v", err)
+	}
+	for _, bad := range [][3]int{{0, 4, 100}, {10, 0, 100}, {10, 4, 0}, {-1, 4, 100}} {
+		if _, err := NewCatalog(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("catalog %v should be rejected", bad)
+		}
+	}
+}
+
+func TestMustCatalogPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCatalog(0, 1, 1)
+}
+
+func TestStripeRoundTrip(t *testing.T) {
+	cat := MustCatalog(7, 5, 50)
+	if cat.NumStripes() != 35 {
+		t.Fatalf("NumStripes = %d", cat.NumStripes())
+	}
+	for v := ID(0); int(v) < cat.M; v++ {
+		for idx := 0; idx < cat.C; idx++ {
+			s := cat.Stripe(v, idx)
+			if !cat.Valid(s) {
+				t.Fatalf("stripe (%d,%d) invalid", v, idx)
+			}
+			if cat.VideoOf(s) != v || cat.IndexOf(s) != idx {
+				t.Fatalf("round trip failed for (%d,%d): got (%d,%d)", v, idx, cat.VideoOf(s), cat.IndexOf(s))
+			}
+		}
+	}
+}
+
+func TestStripeIDsDense(t *testing.T) {
+	cat := MustCatalog(3, 4, 10)
+	seen := make(map[StripeID]bool)
+	for v := ID(0); int(v) < cat.M; v++ {
+		for idx := 0; idx < cat.C; idx++ {
+			seen[cat.Stripe(v, idx)] = true
+		}
+	}
+	if len(seen) != cat.NumStripes() {
+		t.Fatalf("stripe IDs not unique: %d distinct, want %d", len(seen), cat.NumStripes())
+	}
+	for s := StripeID(0); int(s) < cat.NumStripes(); s++ {
+		if !seen[s] {
+			t.Fatalf("stripe ID %d missing — not dense", s)
+		}
+	}
+}
+
+func TestStripePanicsOutOfRange(t *testing.T) {
+	cat := MustCatalog(2, 3, 10)
+	for _, bad := range [][2]int{{-1, 0}, {2, 0}, {0, -1}, {0, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Stripe(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			cat.Stripe(ID(bad[0]), bad[1])
+		}()
+	}
+}
+
+func TestValidBounds(t *testing.T) {
+	cat := MustCatalog(2, 3, 10)
+	if cat.Valid(-1) || cat.Valid(StripeID(cat.NumStripes())) {
+		t.Error("Valid accepts out-of-range stripes")
+	}
+	if !cat.Valid(0) || !cat.Valid(StripeID(cat.NumStripes()-1)) {
+		t.Error("Valid rejects in-range stripes")
+	}
+}
+
+func TestRates(t *testing.T) {
+	cat := MustCatalog(1, 4, 25)
+	if cat.StripeRate() != 0.25 {
+		t.Errorf("StripeRate = %v", cat.StripeRate())
+	}
+	if cat.ChunkCount() != 25 {
+		t.Errorf("ChunkCount = %v", cat.ChunkCount())
+	}
+	if cat.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// Property: VideoOf/IndexOf invert Stripe for arbitrary catalogs.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(mRaw, cRaw uint8, vRaw, idxRaw uint16) bool {
+		m := int(mRaw%50) + 1
+		c := int(cRaw%20) + 1
+		cat := MustCatalog(m, c, 10)
+		v := ID(int(vRaw) % m)
+		idx := int(idxRaw) % c
+		s := cat.Stripe(v, idx)
+		return cat.VideoOf(s) == v && cat.IndexOf(s) == idx && cat.Valid(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
