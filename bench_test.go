@@ -38,21 +38,21 @@ func benchExperiment(b *testing.B, id string) {
 	b.Log("\n" + res.Text())
 }
 
-func BenchmarkE1Threshold(b *testing.B)             { benchExperiment(b, "E1") }
-func BenchmarkE2CatalogLinearity(b *testing.B)      { benchExperiment(b, "E2") }
-func BenchmarkE3CatalogVsU(b *testing.B)            { benchExperiment(b, "E3") }
+func BenchmarkE1Threshold(b *testing.B)              { benchExperiment(b, "E1") }
+func BenchmarkE2CatalogLinearity(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3CatalogVsU(b *testing.B)             { benchExperiment(b, "E3") }
 func BenchmarkE4ObstructionProbability(b *testing.B) { benchExperiment(b, "E4") }
-func BenchmarkE5SwarmGrowth(b *testing.B)           { benchExperiment(b, "E5") }
-func BenchmarkE6HeteroThreshold(b *testing.B)       { benchExperiment(b, "E6") }
-func BenchmarkE7StartupDelay(b *testing.B)          { benchExperiment(b, "E7") }
-func BenchmarkE8AllocationBalance(b *testing.B)     { benchExperiment(b, "E8") }
-func BenchmarkE9SourcingBaseline(b *testing.B)      { benchExperiment(b, "E9") }
-func BenchmarkE10Impossibility(b *testing.B)        { benchExperiment(b, "E10") }
-func BenchmarkE11MatchingEnginesTable(b *testing.B) { benchExperiment(b, "E11") }
-func BenchmarkE12ProtocolGap(b *testing.B)          { benchExperiment(b, "E12") }
-func BenchmarkE13StrategyAblation(b *testing.B)     { benchExperiment(b, "E13") }
-func BenchmarkE14ExpanderAudit(b *testing.B)        { benchExperiment(b, "E14") }
-func BenchmarkT1Planner(b *testing.B)               { benchExperiment(b, "T1") }
+func BenchmarkE5SwarmGrowth(b *testing.B)            { benchExperiment(b, "E5") }
+func BenchmarkE6HeteroThreshold(b *testing.B)        { benchExperiment(b, "E6") }
+func BenchmarkE7StartupDelay(b *testing.B)           { benchExperiment(b, "E7") }
+func BenchmarkE8AllocationBalance(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9SourcingBaseline(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Impossibility(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkE11MatchingEnginesTable(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12ProtocolGap(b *testing.B)           { benchExperiment(b, "E12") }
+func BenchmarkE13StrategyAblation(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14ExpanderAudit(b *testing.B)         { benchExperiment(b, "E14") }
+func BenchmarkT1Planner(b *testing.B)                { benchExperiment(b, "T1") }
 
 // --- Micro-benchmarks: max-flow solvers (E11 wall-clock half) ---
 

@@ -25,22 +25,22 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 100, "number of boxes")
-		u        = flag.Float64("u", 1.5, "normalized upload capacity (homogeneous)")
-		d        = flag.Float64("d", 4, "storage per box in videos")
-		c        = flag.Int("c", 0, "stripes per video (0 = derive from Theorem 1/2)")
-		k        = flag.Int("k", 4, "replicas per stripe")
-		duration = flag.Int("T", 100, "video duration in rounds")
-		mu       = flag.Float64("mu", 1.2, "maximal swarm growth per round")
-		rounds   = flag.Int("rounds", 300, "rounds to simulate")
-		seed     = flag.Uint64("seed", 1, "allocation / workload seed")
-		workload = flag.String("workload", "zipf", "zipf | flash | distinct | avoid | poor")
-		load     = flag.Float64("load", 0.3, "zipf workload arrival probability")
-		zipfS    = flag.Float64("zipf-s", 0.9, "zipf popularity exponent")
-		heteroP  = flag.Float64("hetero", 0, "poor-box fraction (0 = homogeneous); poor u=0.5, rich u=3.0")
-		uStar    = flag.Float64("ustar", 0, "deficiency threshold u* (activates relaying)")
-		sourcing = flag.Bool("sourcing-only", false, "disable cache serving (baseline)")
-		resilient = flag.Bool("resilient", false, "stall through obstructions instead of halting")
+		n          = flag.Int("n", 100, "number of boxes")
+		u          = flag.Float64("u", 1.5, "normalized upload capacity (homogeneous)")
+		d          = flag.Float64("d", 4, "storage per box in videos")
+		c          = flag.Int("c", 0, "stripes per video (0 = derive from Theorem 1/2)")
+		k          = flag.Int("k", 4, "replicas per stripe")
+		duration   = flag.Int("T", 100, "video duration in rounds")
+		mu         = flag.Float64("mu", 1.2, "maximal swarm growth per round")
+		rounds     = flag.Int("rounds", 300, "rounds to simulate")
+		seed       = flag.Uint64("seed", 1, "allocation / workload seed")
+		workload   = flag.String("workload", "zipf", "zipf | flash | distinct | avoid | poor")
+		load       = flag.Float64("load", 0.3, "zipf workload arrival probability")
+		zipfS      = flag.Float64("zipf-s", 0.9, "zipf popularity exponent")
+		heteroP    = flag.Float64("hetero", 0, "poor-box fraction (0 = homogeneous); poor u=0.5, rich u=3.0")
+		uStar      = flag.Float64("ustar", 0, "deficiency threshold u* (activates relaying)")
+		sourcing   = flag.Bool("sourcing-only", false, "disable cache serving (baseline)")
+		resilient  = flag.Bool("resilient", false, "stall through obstructions instead of halting")
 		roundTrace = flag.Bool("trace", false, "print per-round trace")
 		recordPath = flag.String("record", "", "record the demand workload to this JSON file")
 		replayPath = flag.String("replay", "", "replay a recorded workload instead of -workload")

@@ -34,11 +34,11 @@ func TestEffectiveUpload(t *testing.T) {
 		c    int
 		want float64
 	}{
-		{1.5, 4, 1.5},   // 6/4
-		{1.3, 4, 1.25},  // ⌊5.2⌋/4
-		{0.9, 10, 0.9},  // 9/10
-		{2.0, 3, 2.0},   // 6/3
-		{0.99, 2, 0.5},  // ⌊1.98⌋/2
+		{1.5, 4, 1.5},  // 6/4
+		{1.3, 4, 1.25}, // ⌊5.2⌋/4
+		{0.9, 10, 0.9}, // 9/10
+		{2.0, 3, 2.0},  // 6/3
+		{0.99, 2, 0.5}, // ⌊1.98⌋/2
 	}
 	for _, tc := range cases {
 		if got := EffectiveUpload(tc.u, tc.c); math.Abs(got-tc.want) > 1e-12 {

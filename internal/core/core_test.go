@@ -69,9 +69,9 @@ func TestConfigValidation(t *testing.T) {
 	}
 	ups := []float64{1.5, 1.5, 1.5, 1.5}
 	cases := []Config{
-		{},                            // no allocation
-		{Alloc: alloc},                // missing uploads
-		{Alloc: alloc, Uploads: ups},  // µ < 1
+		{},                           // no allocation
+		{Alloc: alloc},               // missing uploads
+		{Alloc: alloc, Uploads: ups}, // µ < 1
 		{Alloc: alloc, Uploads: ups[:2], Mu: 1.2},                                    // wrong upload count
 		{Alloc: alloc, Uploads: []float64{-1, 1, 1, 1}, Mu: 1.2},                     // negative upload
 		{Alloc: alloc, Uploads: ups, Mu: 1.2, Relays: []int{-1, -1, -1, -1}},         // relays without strategy

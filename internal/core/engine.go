@@ -8,14 +8,14 @@ import (
 
 // StepResult reports what happened during one round.
 type StepResult struct {
-	Round       int
-	Demanded    int
-	Admitted    int
-	RejectedBusy int
+	Round         int
+	Demanded      int
+	Admitted      int
+	RejectedBusy  int
 	RejectedSwarm int
-	Matched     int
-	Unmatched   int
-	Obstruction *Obstruction // nil when all requests were served
+	Matched       int
+	Unmatched     int
+	Obstruction   *Obstruction // nil when all requests were served
 }
 
 // Step simulates one round: expiry, scheduled request issuance, demand

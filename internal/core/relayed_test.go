@@ -120,12 +120,12 @@ func TestRelayedRichViewingLifecycle(t *testing.T) {
 
 func TestStrategyAndPolicyStrings(t *testing.T) {
 	cases := map[string]string{
-		StrategyPreload.String():  "preload",
-		StrategyNaive.String():    "naive",
-		StrategyRelayed.String():  "relayed",
-		Strategy(42).String():     "strategy(42)",
-		FailStop.String():         "stop",
-		FailStall.String():        "stall",
+		StrategyPreload.String(): "preload",
+		StrategyNaive.String():   "naive",
+		StrategyRelayed.String(): "relayed",
+		Strategy(42).String():    "strategy(42)",
+		FailStop.String():        "stop",
+		FailStall.String():       "stall",
 	}
 	for got, want := range cases {
 		if got != want {

@@ -70,13 +70,13 @@ func NewSystem(cfg Config) (*System, error) {
 	cat := cfg.Alloc.Catalog()
 	n := cfg.Alloc.NumBoxes()
 	s := &System{
-		cfg:          cfg,
-		cat:          cat,
-		n:            n,
-		caps:         caps,
-		matcher:      bipartite.NewMatcher(caps),
-		tracker:      swarm.NewTracker(cat.M, cat.T, cfg.Mu),
-		entries:      make([][]entry, cat.NumStripes()),
+		cfg:         cfg,
+		cat:         cat,
+		n:           n,
+		caps:        caps,
+		matcher:     bipartite.NewMatcher(caps),
+		tracker:     swarm.NewTracker(cat.M, cat.T, cfg.Mu),
+		entries:     make([][]entry, cat.NumStripes()),
 		outstanding: make([]int32, n),
 		busy:        make([]bool, n),
 	}

@@ -97,7 +97,7 @@ func runE8(o Options) Result {
 		}
 	}
 	tbl.AddNote("d=%d k=%d trials=%d; permutation max/mean is exactly 1 by construction", d, k, trials)
-	tbl.AddNote("claim shape: independent-allocation overflow probability grows with n at constant c, "+
+	tbl.AddNote("claim shape: independent-allocation overflow probability grows with n at constant c, " +
 		"and replica-loss (min stripe replicas < k) follows; larger c tempers both")
 	return Result{ID: "E8", Name: "allocation-balance", Claim: registry["E8"].Claim,
 		Tables: []*report.Table{tbl}, Figures: []*report.Figure{fig}}

@@ -22,10 +22,10 @@ func init() {
 // stripe, each stripe served by a random server subset (allocation k plus
 // a swarm prefix), boxes with uniform slot capacities.
 type matchingInstance struct {
-	name    string
-	caps    []int64
-	adj     *instanceAdj
-	lefts   []int
+	name  string
+	caps  []int64
+	adj   *instanceAdj
+	lefts []int
 }
 
 type instanceAdj struct {

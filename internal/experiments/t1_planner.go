@@ -20,10 +20,10 @@ func runT1(o Options) Result {
 	tbl := report.New("T1: Theorem 1 parameter plans (homogeneous)",
 		"n", "u", "d", "µ", "c", "k (Thm 1)", "k (proof)", "m = dn/k", "u'", "ν", "bound Ω(...)")
 	grid := []struct {
-		n    int
-		u    float64
-		d    int
-		mu   float64
+		n  int
+		u  float64
+		d  int
+		mu float64
 	}{
 		{10000, 1.2, 4, 1.1},
 		{10000, 1.5, 4, 1.1},

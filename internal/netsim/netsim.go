@@ -80,9 +80,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Config sets the latency model: delivery takes BaseLatency plus a
 // uniform jitter in [0, Jitter).
@@ -94,13 +94,13 @@ type Config struct {
 
 // Network is the simulated network.
 type Network struct {
-	cfg      Config
-	rng      *stats.RNG
-	nodes    []Handler
-	now      float64
-	seq      uint64
-	events   eventHeap
-	sent     int64
+	cfg       Config
+	rng       *stats.RNG
+	nodes     []Handler
+	now       float64
+	seq       uint64
+	events    eventHeap
+	sent      int64
 	delivered int64
 }
 

@@ -47,12 +47,12 @@ type informedRequester struct {
 	serverBase int
 	variant    Variant
 
-	replies  map[int32]int64
-	order    []int32
-	next     int
-	matched  int32
-	done     bool
-	polled   bool
+	replies map[int32]int64
+	order   []int32
+	next    int
+	matched int32
+	done    bool
+	polled  bool
 }
 
 func (r *informedRequester) OnTimer(ctx *netsim.Context, kind int) {

@@ -175,7 +175,7 @@ func TestPoissonMean(t *testing.T) {
 			sum += r.Poisson(mean)
 		}
 		got := float64(sum) / trials
-		if math.Abs(got-mean) > 4*math.Sqrt(mean/trials) + 0.6 {
+		if math.Abs(got-mean) > 4*math.Sqrt(mean/trials)+0.6 {
 			t.Errorf("Poisson(%v) sample mean %.3f too far off", mean, got)
 		}
 	}

@@ -5,8 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/allocation"
 	"repro/internal/adversary"
+	"repro/internal/allocation"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/video"
@@ -161,9 +161,9 @@ func TestCSVRoundTrip(t *testing.T) {
 
 func TestCSVErrors(t *testing.T) {
 	cases := []string{
-		"",                         // no header
-		"x,y\n1,2",                 // wrong header
-		"round,box,video,born\n1,2", // wrong arity
+		"",                              // no header
+		"x,y\n1,2",                      // wrong header
+		"round,box,video,born\n1,2",     // wrong arity
 		"round,box,video,born\na,b,c,d", // non-numeric
 	}
 	for i, c := range cases {

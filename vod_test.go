@@ -27,11 +27,11 @@ func TestNewHomogeneousDefaults(t *testing.T) {
 
 func TestSpecValidation(t *testing.T) {
 	cases := []Spec{
-		{},                                    // no boxes
-		{Boxes: 10},                           // no upload
-		{Boxes: 10, Uploads: []float64{1}},    // wrong length
+		{},                                 // no boxes
+		{Boxes: 10},                        // no upload
+		{Boxes: 10, Uploads: []float64{1}}, // wrong length
 		{Boxes: 10, Upload: 1.5, Storages: []float64{1}}, // wrong length
-		{Boxes: 10, Upload: 0.9},              // below threshold, c underivable
+		{Boxes: 10, Upload: 0.9},                         // below threshold, c underivable
 	}
 	for i, spec := range cases {
 		if _, err := New(spec); err == nil {
