@@ -249,6 +249,67 @@ func BenchmarkSimRound100(b *testing.B)  { benchSimRounds(b, 100, core.StrategyP
 func BenchmarkSimRound500(b *testing.B)  { benchSimRounds(b, 500, core.StrategyPreload) }
 func BenchmarkSimRound2000(b *testing.B) { benchSimRounds(b, 2000, core.StrategyPreload) }
 
+// sweepArrivals emits a bounded number of demands per round, cycling boxes
+// and videos round-robin without ever scanning the population, so generator
+// cost (O(arrivals)) never masks engine cost at large n.
+type sweepArrivals struct {
+	perRound  int
+	nextBox   int
+	nextVideo int
+}
+
+func (g *sweepArrivals) Next(v *View, _ int) []Demand {
+	cat := v.Catalog()
+	n := v.NumBoxes()
+	out := make([]Demand, 0, g.perRound)
+	for tries := 0; tries < 2*g.perRound && len(out) < g.perRound; tries++ {
+		box := g.nextBox % n
+		g.nextBox++
+		if !v.BoxIdle(box) {
+			continue
+		}
+		vid := VideoID(g.nextVideo % cat.M)
+		g.nextVideo++
+		if v.SwarmAllowance(vid) <= 0 {
+			continue
+		}
+		out = append(out, Demand{Box: box, Video: vid})
+	}
+	return out
+}
+
+// BenchmarkStepLargeSwarm tracks the availability/scheduling hot path at
+// production scale: 100k boxes, a ~50k-video catalog (200k stripes), and
+// sustained arrivals. Per-round cost must scale with live cache entries and
+// in-flight requests, not with catalog size or the historical peak slot
+// count.
+func BenchmarkStepLargeSwarm(b *testing.B) {
+	const n = 100_000
+	sys, err := New(Spec{
+		Boxes: n, Upload: 2.0, Storage: 2, Stripes: 4, Replicas: 4,
+		Duration: 50, Growth: 1.2, Seed: 17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := &sweepArrivals{perRound: n / 1000}
+	// Warm past the first cache-window expiry so measured rounds carry
+	// steady-state expiry and retirement work.
+	for r := 0; r < 60; r++ {
+		if _, err := sys.Step(gen); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Step(gen); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sys.View().ActiveRequests()), "active_requests")
+}
+
 // --- Protocol and netsim benchmarks ---
 
 func BenchmarkProtocolProposalRound(b *testing.B) {

@@ -11,14 +11,17 @@
 //	vodsim -n 200 -u 1.5 -trace -rounds 100                # per-round trace
 //	vodsim -record workload.json …                         # record the demands
 //	vodsim -replay workload.json …                         # replay a recording
+//	vodsim -n 500 -u 1.5 -seeds 16 …                       # 16 replicas in parallel
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	vod "repro"
+	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -45,32 +48,76 @@ func main() {
 		recordPath = flag.String("record", "", "record the demand workload to this JSON file")
 		replayPath = flag.String("replay", "", "replay a recorded workload instead of -workload")
 		audit      = flag.Bool("audit", false, "run the sampled expansion audit on the allocation before simulating")
+		seeds      = flag.Int("seeds", 1, "number of independent replicas (seed, seed+1, …) run on a worker pool")
+		workers    = flag.Int("workers", 0, "replica worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	spec := vod.Spec{
-		Boxes:        *n,
-		Upload:       *u,
-		Storage:      *d,
-		Stripes:      *c,
-		Replicas:     *k,
-		Duration:     *duration,
-		Growth:       *mu,
-		SourcingOnly: *sourcing,
-		Resilient:    *resilient,
-		Trace:        *roundTrace,
-		Seed:         *seed,
-	}
-	if *heteroP > 0 {
-		pop := vod.Bimodal(*n, 1-*heteroP, 3.0, 0.5, 2.0)
-		spec.Uploads = pop.Uploads
-		spec.Storages = pop.Storage
-		spec.UStar = *uStar
-		if spec.UStar == 0 {
-			spec.UStar = 1.5
+	mkSpec := func(allocSeed uint64) vod.Spec {
+		spec := vod.Spec{
+			Boxes:        *n,
+			Upload:       *u,
+			Storage:      *d,
+			Stripes:      *c,
+			Replicas:     *k,
+			Duration:     *duration,
+			Growth:       *mu,
+			SourcingOnly: *sourcing,
+			Resilient:    *resilient,
+			Trace:        *roundTrace,
+			Seed:         allocSeed,
 		}
-		spec.Growth = 1.05
+		if *heteroP > 0 {
+			pop := vod.Bimodal(*n, 1-*heteroP, 3.0, 0.5, 2.0)
+			spec.Uploads = pop.Uploads
+			spec.Storages = pop.Storage
+			spec.UStar = *uStar
+			if spec.UStar == 0 {
+				spec.UStar = 1.5
+			}
+			spec.Growth = 1.05
+		}
+		return spec
 	}
+	mkGen := func(genSeed uint64, uStar float64) (vod.Generator, bool) {
+		switch *workload {
+		case "zipf":
+			return vod.WithRetry(vod.NewZipfWorkload(genSeed+1, *load, *zipfS)), true
+		case "flash":
+			return vod.NewFlashCrowd(0), true
+		case "distinct":
+			return vod.NewDistinctVideos(), true
+		case "avoid":
+			return vod.NewAvoidPossession(), true
+		case "poor":
+			return vod.NewPoorFirst(uStar), true
+		default:
+			return nil, false
+		}
+	}
+
+	// Reject a bad workload name before any system is built (replays skip
+	// the workload flag entirely).
+	if *replayPath == "" {
+		if _, ok := mkGen(*seed, 1.5); !ok {
+			fmt.Fprintf(os.Stderr, "vodsim: unknown workload %q\n", *workload)
+			os.Exit(1)
+		}
+	}
+
+	if *seeds > 1 {
+		if *recordPath != "" || *replayPath != "" || *roundTrace || *audit {
+			fmt.Fprintln(os.Stderr, "vodsim: -seeds is incompatible with -record, -replay, -trace, and -audit")
+			os.Exit(1)
+		}
+		if err := runReplicas(mkSpec, mkGen, *seed, *seeds, *workers, *rounds); err != nil {
+			fmt.Fprintln(os.Stderr, "vodsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	spec := mkSpec(*seed)
 	sys, err := vod.New(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vodsim:", err)
@@ -110,18 +157,9 @@ func main() {
 			st.Events, st.Rounds, st.DistinctBoxes, st.DistinctVids)
 		gen = trace.NewReplayer(tr)
 	} else {
-		switch *workload {
-		case "zipf":
-			gen = vod.WithRetry(vod.NewZipfWorkload(*seed+1, *load, *zipfS))
-		case "flash":
-			gen = vod.NewFlashCrowd(0)
-		case "distinct":
-			gen = vod.NewDistinctVideos()
-		case "avoid":
-			gen = vod.NewAvoidPossession()
-		case "poor":
-			gen = vod.NewPoorFirst(spec.UStar)
-		default:
+		var ok bool
+		gen, ok = mkGen(*seed, spec.UStar)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "vodsim: unknown workload %q\n", *workload)
 			os.Exit(1)
 		}
@@ -153,6 +191,67 @@ func main() {
 		f.Close()
 		fmt.Printf("\nrecorded %d demands to %s\n", recorder.Trace.Len(), *recordPath)
 	}
+}
+
+// runReplicas runs `seeds` independent simulations (allocation and
+// workload seeded seed, seed+1, …) on a worker pool and prints a per-seed
+// outcome table plus aggregate statistics — a quick Monte-Carlo view of
+// how robustly a configuration serves its workload.
+func runReplicas(mkSpec func(uint64) vod.Spec, mkGen func(uint64, float64) (vod.Generator, bool), seed uint64, seeds, workers, rounds int) error {
+	type outcome struct {
+		rep vod.Report
+		cat vod.Catalog
+	}
+	outcomes := make([]outcome, seeds)
+	pool := workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	err := experiments.ForEach(pool, seeds, func(i int) error {
+		s := seed + uint64(i)
+		spec := mkSpec(s)
+		sys, err := vod.New(spec)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+		gen, ok := mkGen(s, spec.UStar)
+		if !ok {
+			return fmt.Errorf("unknown workload") // unreachable: validated before dispatch
+		}
+		rep, err := sys.Run(gen, rounds)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+		outcomes[i] = outcome{rep: rep, cat: sys.Catalog()}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	cat := outcomes[0].cat
+	fmt.Printf("replicas: %d seeds (%d…%d), n=%d, catalog m=%d c=%d T=%d\n",
+		seeds, seed, seed+uint64(seeds)-1, mkSpec(seed).Boxes, cat.M, cat.C, cat.T)
+	tbl := report.New("per-seed outcomes", "seed", "rounds", "admitted", "completed", "stalls", "util", "failed round")
+	survived := 0
+	var utilSum, completedSum float64
+	for i, o := range outcomes {
+		failRound := float64(o.rep.FailRound)
+		if !o.rep.Failed {
+			survived++
+			failRound = -1
+		}
+		utilSum += o.rep.MeanUtilization
+		completedSum += float64(o.rep.CompletedViewings)
+		tbl.AddRowValues(int(seed)+i, o.rep.Rounds, float64(o.rep.Admitted),
+			float64(o.rep.CompletedViewings), float64(o.rep.Stalls), o.rep.MeanUtilization, failRound)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nsurvived %d/%d replicas; mean utilization %.3f; mean completed viewings %.1f\n",
+		survived, seeds, utilSum/float64(seeds), completedSum/float64(seeds))
+	return nil
 }
 
 func printReport(rep vod.Report) {

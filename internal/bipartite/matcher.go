@@ -5,16 +5,25 @@
 // The Matcher is incremental: requests persist across rounds, and each
 // round only repairs invalidated assignments and augments new or unmatched
 // requests, which is dramatically cheaper than recomputing a max flow from
-// scratch (ablated in experiment E11). When augmentation stalls, the
+// scratch (ablated in experiment E11). Per-round cost tracks live work:
+// active lefts are kept in a dense list (not rediscovered by scanning every
+// slot ever allocated), and BFS scratch is reset by epoch stamping in O(1)
+// rather than clearing peak-sized arrays. When augmentation stalls, the
 // alternating-reachability set from the unmatched requests is exactly a
 // Hall violator — the paper's *obstruction* certificate (Lemma 1): a set X
 // of requests with total box capacity U_B(X) < |X|/c.
 package bipartite
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Unassigned marks a left node with no current server.
 const Unassigned = -1
+
+// noStable marks an empty stableTo cache slot (distinct from any right).
+const noStable = -2
 
 // Adjacency exposes the dynamic bipartite graph. The simulator implements
 // it directly over its swarm and allocation state so that edges never need
@@ -27,25 +36,67 @@ type Adjacency interface {
 	CanServe(left, right int) bool
 }
 
+// Hinted is an optional Adjacency extension giving the matcher cheap
+// paths around dead or settled probes. ServerCountHint returns an upper
+// bound on the number of rights able to serve left; zero certifies the
+// left currently has no edge at all, which lets Revalidate and AugmentAll
+// skip probes without enumerating servers. StableEdge reports that the
+// edge (left, right) — known to exist when it was assigned — cannot
+// disappear while both endpoints stay live (e.g. the server holds the
+// stripe statically), letting Revalidate skip re-validating it each round.
+type Hinted interface {
+	Adjacency
+	ServerCountHint(left int) int
+	StableEdge(left, right int) bool
+}
+
 // Matcher holds the incremental assignment state.
 type Matcher struct {
 	caps []int64 // capacity per right node, in slots
 	load []int64 // current load per right node
 
-	assigned []int32 // left -> right, or Unassigned; -2 marks a dead slot
+	assigned []int32 // left -> right, or Unassigned
 	active   []bool  // left liveness
+
+	// Dense list of active lefts with back-pointers for O(1) removal, so
+	// per-round scans cost O(live requests), not O(peak slots).
+	activeLefts []int32
+	posActive   []int32
 
 	// Per-right list of assigned lefts, with back-pointers for O(1) removal.
 	rightLefts [][]int32
 	posInRight []int32
 
-	// BFS scratch.
-	visitedL   []bool
-	visitedR   []bool
+	// BFS scratch: visit stamps compare against epoch, making the
+	// per-search reset O(1) instead of O(slots + boxes).
+	epoch      uint32
+	visitL     []uint32
+	visitR     []uint32
 	parentLeft []int32 // for right r, the left that discovered it
 	queue      []int32
+	reachedR   []int32 // rights first visited in the current search
+	todo       []int32 // AugmentAll worklist scratch
+
+	// Lefts that may need (re-)augmentation: newly added or unassigned
+	// since the last AugmentAll. Keeping them explicit makes AugmentAll
+	// output-sensitive — it never scans the live set to find them.
+	dirty   []int32
+	inDirty []bool
+
+	// stableTo[l] caches a right confirmed stable for l (StableEdge), or
+	// noStable. Stability depends only on the left's identity and the
+	// right, so the cache lives until the left ID is recycled by AddLeft.
+	stableTo []int32
 
 	matchedCount int
+}
+
+// markDirty queues l for the next augmentation pass.
+func (m *Matcher) markDirty(l int) {
+	if !m.inDirty[l] {
+		m.inDirty[l] = true
+		m.dirty = append(m.dirty, int32(l))
+	}
 }
 
 // NewMatcher creates a matcher over numRight boxes with the given slot
@@ -55,7 +106,7 @@ func NewMatcher(caps []int64) *Matcher {
 		caps:       append([]int64(nil), caps...),
 		load:       make([]int64, len(caps)),
 		rightLefts: make([][]int32, len(caps)),
-		visitedR:   make([]bool, len(caps)),
+		visitR:     make([]uint32, len(caps)),
 		parentLeft: make([]int32, len(caps)),
 	}
 	return m
@@ -72,6 +123,9 @@ func (m *Matcher) Load(r int) int64 { return m.load[r] }
 
 // MatchedCount returns the number of currently matched left nodes.
 func (m *Matcher) MatchedCount() int { return m.matchedCount }
+
+// NumActive returns the number of active left nodes.
+func (m *Matcher) NumActive() int { return len(m.activeLefts) }
 
 // SetCapacity adjusts the capacity of right node r. Lowering below the
 // current load unassigns arbitrary assigned lefts until feasible; the
@@ -97,7 +151,10 @@ func (m *Matcher) EnsureLeft(n int) {
 		m.assigned = append(m.assigned, Unassigned)
 		m.active = append(m.active, false)
 		m.posInRight = append(m.posInRight, -1)
-		m.visitedL = append(m.visitedL, false)
+		m.posActive = append(m.posActive, -1)
+		m.visitL = append(m.visitL, 0)
+		m.inDirty = append(m.inDirty, false)
+		m.stableTo = append(m.stableTo, noStable)
 	}
 }
 
@@ -110,6 +167,10 @@ func (m *Matcher) AddLeft(l int) {
 	}
 	m.active[l] = true
 	m.assigned[l] = Unassigned
+	m.stableTo[l] = noStable // recycled ID: stability cache is stale
+	m.posActive[l] = int32(len(m.activeLefts))
+	m.activeLefts = append(m.activeLefts, int32(l))
+	m.markDirty(l)
 }
 
 // RemoveLeft deactivates a left node, releasing its server slot.
@@ -121,6 +182,12 @@ func (m *Matcher) RemoveLeft(l int) {
 		m.unassign(l)
 	}
 	m.active[l] = false
+	pos := m.posActive[l]
+	last := m.activeLefts[len(m.activeLefts)-1]
+	m.activeLefts[pos] = last
+	m.posActive[last] = pos
+	m.activeLefts = m.activeLefts[:len(m.activeLefts)-1]
+	m.posActive[l] = -1
 }
 
 // Active reports whether left l is active.
@@ -157,6 +224,7 @@ func (m *Matcher) unassign(l int) {
 	m.assigned[l] = Unassigned
 	m.posInRight[l] = -1
 	m.matchedCount--
+	m.markDirty(l)
 }
 
 // move reassigns l from its current server to r without touching other
@@ -170,12 +238,29 @@ func (m *Matcher) move(l, r int) {
 // longer possesses the chunk, e.g. a playback cache rolled past the
 // window). Returns the number of dropped assignments.
 func (m *Matcher) Revalidate(adj Adjacency) int {
+	hinter, hinted := adj.(Hinted)
 	dropped := 0
-	for l := range m.assigned {
-		if !m.active[l] || m.assigned[l] == Unassigned {
+	for _, l32 := range m.activeLefts {
+		l := int(l32)
+		r := m.assigned[l]
+		if r == Unassigned {
 			continue
 		}
-		if !adj.CanServe(l, int(m.assigned[l])) {
+		if m.stableTo[l] == r {
+			continue
+		}
+		if hinted {
+			if hinter.StableEdge(l, int(r)) {
+				m.stableTo[l] = r
+				continue
+			}
+			if hinter.ServerCountHint(l) == 0 {
+				m.unassign(l)
+				dropped++
+				continue
+			}
+		}
+		if !adj.CanServe(l, int(r)) {
 			m.unassign(l)
 			dropped++
 		}
@@ -187,34 +272,49 @@ func (m *Matcher) Revalidate(adj Adjacency) int {
 // alternating augmenting path from every unmatched active left until a
 // full pass makes no progress (at which point no augmenting path exists
 // from the implicit super-source, so the matching is maximum). It returns
-// the remaining unmatched lefts; a non-empty result certifies a Lemma 1
-// obstruction, extractable via HallViolator.
+// the remaining unmatched lefts in ascending order; a non-empty result
+// certifies a Lemma 1 obstruction, extractable via HallViolator.
 func (m *Matcher) AugmentAll(adj Adjacency) []int {
-	for {
+	hinter, hinted := adj.(Hinted)
+	todo := m.todo[:0]
+	for _, l := range m.dirty {
+		m.inDirty[l] = false
+		if m.active[l] && m.assigned[l] == Unassigned {
+			todo = append(todo, l)
+		}
+	}
+	m.dirty = m.dirty[:0]
+	for len(todo) > 0 {
 		progressed := false
-		stalled := false
-		for l := range m.assigned {
-			if m.active[l] && m.assigned[l] == Unassigned {
-				if m.augment(adj, l) {
-					progressed = true
-				} else {
-					stalled = true
-				}
+		rest := todo[:0] // safe: writes trail reads
+		for _, l := range todo {
+			if hinted && hinter.ServerCountHint(int(l)) == 0 {
+				rest = append(rest, l)
+				continue
+			}
+			if m.augment(adj, int(l)) {
+				progressed = true
+			} else {
+				rest = append(rest, l)
 			}
 		}
-		if !stalled {
-			return nil
-		}
+		todo = rest
 		if !progressed {
 			break
 		}
 	}
-	var unmatched []int
-	for l := range m.assigned {
-		if m.active[l] && m.assigned[l] == Unassigned {
-			unmatched = append(unmatched, l)
-		}
+	if len(todo) == 0 {
+		m.todo = todo
+		return nil
 	}
+	unmatched := make([]int, len(todo))
+	for i, l := range todo {
+		unmatched[i] = int(l)
+		// Still unmatched: must be retried on the next call.
+		m.markDirty(int(l))
+	}
+	m.todo = todo[:0]
+	sort.Ints(unmatched)
 	return unmatched
 }
 
@@ -222,27 +322,27 @@ func (m *Matcher) AugmentAll(adj Adjacency) []int {
 // and applies the augmenting path if a right node with spare capacity is
 // found.
 func (m *Matcher) augment(adj Adjacency, root int) bool {
-	m.resetScratch()
+	m.beginSearch()
 	m.queue = m.queue[:0]
 	m.queue = append(m.queue, int32(root))
-	m.visitedL[root] = true
+	m.visitL[root] = m.epoch
 	// prevRight[l] is implicit: for non-root lefts it is assigned[l].
 	for head := 0; head < len(m.queue); head++ {
 		l := m.queue[head]
 		found := -1
 		adj.VisitServers(int(l), func(r int) bool {
-			if m.visitedR[r] {
+			if m.visitR[r] == m.epoch {
 				return true
 			}
-			m.visitedR[r] = true
+			m.visitR[r] = m.epoch
 			m.parentLeft[r] = l
 			if m.load[r] < m.caps[r] {
 				found = r
 				return false
 			}
 			for _, l2 := range m.rightLefts[r] {
-				if !m.visitedL[l2] {
-					m.visitedL[l2] = true
+				if m.visitL[l2] != m.epoch {
+					m.visitL[l2] = m.epoch
 					m.queue = append(m.queue, l2)
 				}
 			}
@@ -272,12 +372,19 @@ func (m *Matcher) applyPath(freeRight int) {
 	}
 }
 
-func (m *Matcher) resetScratch() {
-	for i := range m.visitedL {
-		m.visitedL[i] = false
-	}
-	for i := range m.visitedR {
-		m.visitedR[i] = false
+// beginSearch starts a fresh BFS scope: bumping the epoch invalidates all
+// visit stamps at once. On the (rare) wrap to zero the stamp arrays are
+// cleared so stale marks from 2³²−1 searches ago cannot alias.
+func (m *Matcher) beginSearch() {
+	m.epoch++
+	if m.epoch == 0 {
+		for i := range m.visitL {
+			m.visitL[i] = 0
+		}
+		for i := range m.visitR {
+			m.visitR[i] = 0
+		}
+		m.epoch = 1
 	}
 }
 
@@ -295,12 +402,13 @@ type Violator struct {
 // from all unmatched lefts; the reached lefts X and rights B(X) satisfy
 // U_B(X) < |X| (in slots). Returns nil if every active left is matched.
 func (m *Matcher) HallViolator(adj Adjacency) *Violator {
-	m.resetScratch()
+	m.beginSearch()
 	m.queue = m.queue[:0]
-	for l := range m.assigned {
-		if m.active[l] && m.assigned[l] == Unassigned {
-			m.visitedL[l] = true
-			m.queue = append(m.queue, int32(l))
+	m.reachedR = m.reachedR[:0]
+	for _, l := range m.activeLefts {
+		if m.assigned[l] == Unassigned {
+			m.visitL[l] = m.epoch
+			m.queue = append(m.queue, l)
 		}
 	}
 	if len(m.queue) == 0 {
@@ -309,31 +417,33 @@ func (m *Matcher) HallViolator(adj Adjacency) *Violator {
 	for head := 0; head < len(m.queue); head++ {
 		l := m.queue[head]
 		adj.VisitServers(int(l), func(r int) bool {
-			if m.visitedR[r] {
+			if m.visitR[r] == m.epoch {
 				return true
 			}
-			m.visitedR[r] = true
+			m.visitR[r] = m.epoch
+			m.reachedR = append(m.reachedR, int32(r))
 			for _, l2 := range m.rightLefts[r] {
-				if !m.visitedL[l2] {
-					m.visitedL[l2] = true
+				if m.visitL[l2] != m.epoch {
+					m.visitL[l2] = m.epoch
 					m.queue = append(m.queue, l2)
 				}
 			}
 			return true
 		})
 	}
-	v := &Violator{}
-	for l, ok := range m.visitedL {
-		if ok && m.active[l] {
-			v.Lefts = append(v.Lefts, l)
-		}
+	v := &Violator{
+		Lefts:  make([]int, len(m.queue)),
+		Rights: make([]int, len(m.reachedR)),
 	}
-	for r, ok := range m.visitedR {
-		if ok {
-			v.Rights = append(v.Rights, r)
-			v.Slots += m.caps[r]
-		}
+	for i, l := range m.queue {
+		v.Lefts[i] = int(l)
 	}
+	sort.Ints(v.Lefts)
+	for i, r := range m.reachedR {
+		v.Rights[i] = int(r)
+		v.Slots += m.caps[r]
+	}
+	sort.Ints(v.Rights)
 	return v
 }
 
@@ -343,15 +453,27 @@ func (m *Matcher) HallViolator(adj Adjacency) *Violator {
 func (m *Matcher) Verify(adj Adjacency) error {
 	var matched int
 	loads := make([]int64, len(m.caps))
+	activeSeen := 0
 	for l := range m.assigned {
 		if !m.active[l] {
 			if m.assigned[l] != Unassigned {
 				return fmt.Errorf("inactive left %d has assignment %d", l, m.assigned[l])
 			}
+			if m.posActive[l] != -1 {
+				return fmt.Errorf("inactive left %d still in active list", l)
+			}
 			continue
+		}
+		activeSeen++
+		pos := m.posActive[l]
+		if pos < 0 || int(pos) >= len(m.activeLefts) || m.activeLefts[pos] != int32(l) {
+			return fmt.Errorf("active-list back-pointer corrupt for left %d", l)
 		}
 		r := m.assigned[l]
 		if r == Unassigned {
+			if !m.inDirty[l] {
+				return fmt.Errorf("unmatched left %d not queued for augmentation", l)
+			}
 			continue
 		}
 		matched++
@@ -363,6 +485,9 @@ func (m *Matcher) Verify(adj Adjacency) error {
 			m.rightLefts[r][m.posInRight[l]] != int32(l) {
 			return fmt.Errorf("back-pointer corrupt for left %d", l)
 		}
+	}
+	if activeSeen != len(m.activeLefts) {
+		return fmt.Errorf("active list has %d lefts, actual %d", len(m.activeLefts), activeSeen)
 	}
 	if matched != m.matchedCount {
 		return fmt.Errorf("matchedCount=%d, actual=%d", m.matchedCount, matched)

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/video"
+)
+
+// entry is a playback-cache record: box started receiving the stripe at
+// round start and can serve chunk p to any request that is at least one
+// chunk behind it, as long as the window t−T ≤ start holds (enforced by
+// expiry). A forwarded copy (relay → poor box) trails its backing request
+// by lag rounds.
+type entry struct {
+	box    int32
+	start  int32
+	req    int32 // backing request slot, or -1 once frozen
+	lag    int32
+	frozen int32 // progress at freeze time (valid when req == -1)
+}
+
+// entryChunks returns how many chunks the entry's box has of its stripe;
+// reqProgress is the system's per-slot progress array.
+func entryChunks(e *entry, reqProgress []int32) int32 {
+	if e.req >= 0 {
+		p := reqProgress[e.req] - e.lag
+		if p < 0 {
+			return 0
+		}
+		return p
+	}
+	return e.frozen
+}
+
+// availabilityStore indexes the playback-cache entries that, together with
+// the static allocation, define the server sets B(x) of Section 2.2. The
+// production implementation is indexedAvailability; naiveAvailability is
+// the retained linear-scan reference the differential tests pin it to.
+type availabilityStore interface {
+	// add records a new cache entry for stripe st.
+	add(st video.StripeID, e entry)
+	// expire drops every entry whose serving window has closed at the
+	// given round (start < round−T).
+	expire(round int)
+	// retire freezes all entries backed by request slot req at final
+	// progress final (each entry freezes at final−lag).
+	retire(st video.StripeID, req int32, final int32)
+	// visit calls fn for every entry of st whose box is not exclude and
+	// whose progress exceeds need, stopping early if fn returns false.
+	visit(st video.StripeID, exclude int32, need int32, reqProgress []int32, fn func(right int) bool)
+	// canServe reports whether box has an entry for st with progress
+	// beyond need.
+	canServe(st video.StripeID, box int32, need int32, reqProgress []int32) bool
+	// hasFull reports whether box holds a frozen full copy of st (frozen
+	// progress ≥ full) still inside the window.
+	hasFull(st video.StripeID, box int32, full int32) bool
+	// live returns the number of entries currently indexed for st.
+	live(st video.StripeID) int
+}
+
+// indexedAvailability is the production store: intrusive per-stripe lists
+// of live entries for iteration, a per-(stripe,box) chain index for O(1)
+// lookups, and a round-bucketed expiry ring so each round touches only the
+// entries whose window actually closes — never the full catalog. All
+// linkage runs through one slab, so steady-state operation allocates
+// nothing per stripe.
+type indexedAvailability struct {
+	T    int
+	slab []idxEntry
+	free []int32
+
+	byStripe  []int32          // per stripe: head of the live-entry list, −1 empty
+	liveCount []int32          // per stripe: live entries
+	byKey     map[uint64]int32 // (stripe, box) → head of same-key chain
+	ring      [][]int32        // entry ids bucketed by start mod len(ring)
+	reqLinks  [][2]int32       // per request slot: backing entry ids or −1
+}
+
+// availKey packs a (stripe, box) pair into one map key.
+func availKey(st video.StripeID, box int32) uint64 {
+	return uint64(uint32(st))<<32 | uint64(uint32(box))
+}
+
+// idxEntry decorates entry with the index back-pointers.
+type idxEntry struct {
+	entry
+	stripe     video.StripeID
+	next, prev int32 // intrusive per-stripe live list
+	nextKey    int32 // next entry id with the same (stripe, box), or −1
+}
+
+// newIndexedAvailability sizes the store for a catalog. The ring needs
+// T+3 slots so a bucket is always drained before a start value T+3 newer
+// can land in it (live starts span [t−T, t+1] plus the slot being drained);
+// one extra slot keeps the margin obvious.
+func newIndexedAvailability(numStripes, T int) *indexedAvailability {
+	ix := &indexedAvailability{
+		T:         T,
+		byStripe:  make([]int32, numStripes),
+		liveCount: make([]int32, numStripes),
+		byKey:     make(map[uint64]int32),
+		ring:      make([][]int32, T+4),
+	}
+	for st := range ix.byStripe {
+		ix.byStripe[st] = -1
+	}
+	return ix
+}
+
+func (ix *indexedAvailability) add(st video.StripeID, e entry) {
+	var id int32
+	if n := len(ix.free); n > 0 {
+		id = ix.free[n-1]
+		ix.free = ix.free[:n-1]
+	} else {
+		id = int32(len(ix.slab))
+		ix.slab = append(ix.slab, idxEntry{})
+	}
+	key := availKey(st, e.box)
+	nextKey := int32(-1)
+	if prev, ok := ix.byKey[key]; ok {
+		nextKey = prev
+	}
+	ix.byKey[key] = id
+	head := ix.byStripe[st]
+	ix.slab[id] = idxEntry{
+		entry:   e,
+		stripe:  st,
+		next:    head,
+		prev:    -1,
+		nextKey: nextKey,
+	}
+	if head >= 0 {
+		ix.slab[head].prev = id
+	}
+	ix.byStripe[st] = id
+	ix.liveCount[st]++
+	bucket := int(e.start) % len(ix.ring)
+	ix.ring[bucket] = append(ix.ring[bucket], id)
+	if e.req >= 0 {
+		ix.linkReq(e.req, id)
+	}
+}
+
+// linkReq records id as one of the (at most two) entries backed by slot req.
+func (ix *indexedAvailability) linkReq(req, id int32) {
+	for int(req) >= len(ix.reqLinks) {
+		ix.reqLinks = append(ix.reqLinks, [2]int32{-1, -1})
+	}
+	links := &ix.reqLinks[req]
+	switch {
+	case links[0] < 0:
+		links[0] = id
+	case links[1] < 0:
+		links[1] = id
+	default:
+		panic(fmt.Sprintf("core: request %d backs more than two cache entries", req))
+	}
+}
+
+// unlinkReq clears the backlink from slot req to entry id.
+func (ix *indexedAvailability) unlinkReq(req, id int32) {
+	links := &ix.reqLinks[req]
+	switch {
+	case links[0] == id:
+		links[0] = -1
+	case links[1] == id:
+		links[1] = -1
+	}
+}
+
+func (ix *indexedAvailability) expire(round int) {
+	start := round - ix.T - 1
+	if start < 1 {
+		return
+	}
+	bucket := start % len(ix.ring)
+	ids := ix.ring[bucket]
+	ix.ring[bucket] = ids[:0]
+	for _, id := range ids {
+		ix.remove(id)
+	}
+}
+
+// remove unlinks entry id from the stripe list, the key chain, and its
+// backing request, and returns the slab slot to the free list.
+func (ix *indexedAvailability) remove(id int32) {
+	e := &ix.slab[id]
+	// Stripe list: unlink.
+	if e.prev >= 0 {
+		ix.slab[e.prev].next = e.next
+	} else {
+		ix.byStripe[e.stripe] = e.next
+	}
+	if e.next >= 0 {
+		ix.slab[e.next].prev = e.prev
+	}
+	ix.liveCount[e.stripe]--
+	// Key chain.
+	key := availKey(e.stripe, e.box)
+	if head := ix.byKey[key]; head == id {
+		if e.nextKey < 0 {
+			delete(ix.byKey, key)
+		} else {
+			ix.byKey[key] = e.nextKey
+		}
+	} else {
+		for cur := head; cur >= 0; cur = ix.slab[cur].nextKey {
+			if ix.slab[cur].nextKey == id {
+				ix.slab[cur].nextKey = e.nextKey
+				break
+			}
+		}
+	}
+	if e.req >= 0 {
+		ix.unlinkReq(e.req, id)
+	}
+	ix.slab[id] = idxEntry{}
+	ix.free = append(ix.free, id)
+}
+
+func (ix *indexedAvailability) retire(_ video.StripeID, req int32, final int32) {
+	if int(req) >= len(ix.reqLinks) {
+		return
+	}
+	links := &ix.reqLinks[req]
+	for i, id := range links {
+		if id < 0 {
+			continue
+		}
+		e := &ix.slab[id]
+		e.frozen = final - e.lag
+		e.req = -1
+		links[i] = -1
+	}
+}
+
+func (ix *indexedAvailability) visit(st video.StripeID, exclude int32, need int32, reqProgress []int32, fn func(right int) bool) {
+	for id := ix.byStripe[st]; id >= 0; id = ix.slab[id].next {
+		e := &ix.slab[id]
+		if e.box != exclude && entryChunks(&e.entry, reqProgress) > need {
+			if !fn(int(e.box)) {
+				return
+			}
+		}
+	}
+}
+
+func (ix *indexedAvailability) canServe(st video.StripeID, box int32, need int32, reqProgress []int32) bool {
+	id, ok := ix.byKey[availKey(st, box)]
+	if !ok {
+		return false
+	}
+	for ; id >= 0; id = ix.slab[id].nextKey {
+		if entryChunks(&ix.slab[id].entry, reqProgress) > need {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *indexedAvailability) hasFull(st video.StripeID, box int32, full int32) bool {
+	id, ok := ix.byKey[availKey(st, box)]
+	if !ok {
+		return false
+	}
+	for ; id >= 0; id = ix.slab[id].nextKey {
+		e := &ix.slab[id]
+		if e.req == -1 && e.frozen >= full {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *indexedAvailability) live(st video.StripeID) int { return int(ix.liveCount[st]) }

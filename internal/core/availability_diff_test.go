@@ -1,0 +1,281 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/allocation"
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+// This file pins the indexed availability substrate to the retained naive
+// linear-scan reference, two ways:
+//
+//  1. A store-level property test drives both implementations with one
+//     randomized event stream (adds, freezes, window expiry) and asserts
+//     every query — visit sets, canServe, hasFull, live counts — agrees
+//     after each round.
+//  2. A system-level differential test runs full simulations twice, once
+//     per store (Config.NaiveAvailability), and asserts identical step
+//     results, obstruction certificates, and reports round by round.
+//     Under FailStop every pre-failure round has all requests matched and
+//     the Hall-violator sets are invariant across maximum matchings, so
+//     runs must agree exactly however the matcher orders its search.
+
+// diffReq is the property driver's model of a request backing entries.
+type diffReq struct {
+	slot   int32
+	stripe video.StripeID
+	live   bool
+}
+
+func TestAvailabilityStoresAgree(t *testing.T) {
+	const (
+		numStripes = 24
+		numBoxes   = 16
+		T          = 9
+		rounds     = 120
+	)
+	rng := stats.NewRNG(0xd1ff)
+	idx := newIndexedAvailability(numStripes, T)
+	naive := newNaiveAvailability(numStripes, T)
+	stores := []availabilityStore{idx, naive}
+
+	var reqProgress []int32
+	var reqs []diffReq
+	newSlot := func(st video.StripeID) int32 {
+		slot := int32(len(reqProgress))
+		reqProgress = append(reqProgress, 0)
+		reqs = append(reqs, diffReq{slot: slot, stripe: st, live: true})
+		return slot
+	}
+
+	for round := 1; round <= rounds; round++ {
+		for _, s := range stores {
+			s.expire(round)
+		}
+		// A few new requests, occasionally with a lagged mirror entry.
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			st := video.StripeID(rng.Intn(numStripes))
+			box := int32(rng.Intn(numBoxes))
+			slot := newSlot(st)
+			for _, s := range stores {
+				s.add(st, entry{box: box, start: int32(round), req: slot})
+			}
+			if rng.Bool(0.4) {
+				mirror := int32(rng.Intn(numBoxes))
+				for _, s := range stores {
+					s.add(st, entry{box: mirror, start: int32(round + 1), req: slot, lag: 1})
+				}
+			}
+		}
+		// Progress advances on a random subset of live requests.
+		for i := range reqs {
+			if reqs[i].live && rng.Bool(0.8) {
+				reqProgress[reqs[i].slot]++
+			}
+		}
+		// Some requests retire (freeze their entries).
+		for i := range reqs {
+			r := &reqs[i]
+			if r.live && (reqProgress[r.slot] >= int32(T) || rng.Bool(0.05)) {
+				for _, s := range stores {
+					s.retire(r.stripe, r.slot, reqProgress[r.slot])
+				}
+				r.live = false
+			}
+		}
+
+		// Compare every query the system can pose.
+		for st := video.StripeID(0); int(st) < numStripes; st++ {
+			if idx.live(st) != naive.live(st) {
+				t.Fatalf("round %d stripe %d: live %d (indexed) != %d (naive)",
+					round, st, idx.live(st), naive.live(st))
+			}
+			exclude := int32(rng.Intn(numBoxes))
+			need := int32(rng.Intn(T + 1))
+			collect := func(s availabilityStore) []int {
+				var out []int
+				s.visit(st, exclude, need, reqProgress, func(right int) bool {
+					out = append(out, right)
+					return true
+				})
+				sort.Ints(out)
+				return out
+			}
+			if got, want := collect(idx), collect(naive); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d stripe %d visit(exclude=%d, need=%d): indexed %v, naive %v",
+					round, st, exclude, need, got, want)
+			}
+			for box := int32(0); int(box) < numBoxes; box++ {
+				if g, w := idx.canServe(st, box, need, reqProgress), naive.canServe(st, box, need, reqProgress); g != w {
+					t.Fatalf("round %d stripe %d canServe(box=%d, need=%d): indexed %v, naive %v",
+						round, st, box, need, g, w)
+				}
+				if g, w := idx.hasFull(st, box, int32(T)), naive.hasFull(st, box, int32(T)); g != w {
+					t.Fatalf("round %d stripe %d hasFull(box=%d): indexed %v, naive %v",
+						round, st, box, g, w)
+				}
+			}
+		}
+	}
+}
+
+// runDifferential steps an indexed and a naive system in lockstep and
+// fails on the first observable divergence.
+func runDifferential(t *testing.T, name string, mkSys func(t *testing.T, naive bool) *System, mkGen func() Generator, rounds int) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		indexed := mkSys(t, false)
+		naive := mkSys(t, true)
+		genI, genN := mkGen(), mkGen()
+		for r := 0; r < rounds && !indexed.Failed() && !naive.Failed(); r++ {
+			resI, errI := indexed.Step(genI)
+			resN, errN := naive.Step(genN)
+			if (errI == nil) != (errN == nil) {
+				t.Fatalf("round %d: errors diverge: indexed %v, naive %v", r+1, errI, errN)
+			}
+			if errI != nil {
+				t.Fatalf("round %d: %v", r+1, errI)
+			}
+			if !reflect.DeepEqual(resI, resN) {
+				t.Fatalf("round %d: step results diverge:\nindexed: %+v\nnaive:   %+v", r+1, resI, resN)
+			}
+		}
+		if indexed.Failed() != naive.Failed() {
+			t.Fatalf("failure state diverges: indexed %v, naive %v", indexed.Failed(), naive.Failed())
+		}
+		repI, repN := indexed.Report(), naive.Report()
+		if !reflect.DeepEqual(repI, repN) {
+			t.Fatalf("reports diverge:\nindexed: %+v\nnaive:   %+v", repI, repN)
+		}
+	})
+}
+
+// relayedPoorFirst demands videos round-robin, poor boxes before rich —
+// the in-package stand-in for the adversary package's PoorFirst.
+type relayedPoorFirst struct {
+	uStar float64
+	next  video.ID
+}
+
+func (g *relayedPoorFirst) Next(v *View, _ int) []Demand {
+	var out []Demand
+	m := v.Catalog().M
+	emit := func(b int) {
+		if v.SwarmAllowance(g.next) > 0 {
+			out = append(out, Demand{Box: b, Video: g.next})
+		}
+		g.next = video.ID((int(g.next) + 1) % m)
+	}
+	for b := 0; b < v.NumBoxes(); b++ {
+		if v.BoxIdle(b) && v.Upload(b) < g.uStar {
+			emit(b)
+		}
+	}
+	for b := 0; b < v.NumBoxes(); b++ {
+		if v.BoxIdle(b) && v.Upload(b) >= g.uStar {
+			emit(b)
+		}
+	}
+	return out
+}
+
+// buildRelayedDiff is buildRelayedSmall with a config hook.
+func buildRelayedDiff(t *testing.T, naive bool) *System {
+	t.Helper()
+	const n = 6
+	const c, T, k = 25, 30, 2
+	uploads := []float64{0.5, 0.5, 3.0, 3.0, 3.0, 3.0}
+	storage := make([]int, n)
+	total := 0
+	for i := range storage {
+		storage[i] = int(uploads[i] * 2 * float64(c))
+		total += storage[i]
+	}
+	m := total / (k * c)
+	excess := total - m*k*c
+	for b := range storage {
+		take := excess
+		if take > storage[b]/2 {
+			take = storage[b] / 2
+		}
+		storage[b] -= take
+		excess -= take
+		if excess == 0 {
+			break
+		}
+	}
+	cat := video.MustCatalog(m, c, T)
+	alloc, err := allocation.Permutation(stats.NewRNG(11), cat, storage, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{
+		Alloc:             alloc,
+		Uploads:           uploads,
+		Mu:                1.05,
+		Strategy:          StrategyRelayed,
+		UStar:             1.5,
+		Relays:            []int{2, 3, NoRelay, NoRelay, NoRelay, NoRelay},
+		Paranoid:          true,
+		TraceRounds:       true,
+		NaiveAvailability: naive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestIndexedMatchesNaiveAvailability(t *testing.T) {
+	homogeneous := func(seed uint64, strategy Strategy, u float64) func(*testing.T, bool) *System {
+		return func(t *testing.T, naive bool) *System {
+			return buildHomogeneous(t, seed, 24, 2, 4, 12, 4, u, 1.4, func(cfg *Config) {
+				cfg.Strategy = strategy
+				cfg.NaiveAvailability = naive
+				cfg.TraceRounds = true
+			})
+		}
+	}
+
+	runDifferential(t, "preload/uniform", homogeneous(21, StrategyPreload, 2.5),
+		func() Generator { return &uniformGen{rng: stats.NewRNG(501), p: 0.4} }, 90)
+	runDifferential(t, "preload/flash", homogeneous(22, StrategyPreload, 2.5),
+		func() Generator { return genFlashCrowd{target: 0} }, 60)
+	runDifferential(t, "naive/uniform", homogeneous(23, StrategyNaive, 2.5),
+		func() Generator { return &uniformGen{rng: stats.NewRNG(502), p: 0.4} }, 90)
+	runDifferential(t, "naive/flash", homogeneous(24, StrategyNaive, 3.0),
+		func() Generator { return genFlashCrowd{target: 1} }, 60)
+	runDifferential(t, "relayed/poorfirst", buildRelayedDiff,
+		func() Generator { return &relayedPoorFirst{uStar: 1.5} }, 80)
+
+	// Under-provisioned: both stores must fail on the same round with the
+	// same Hall-violator certificate.
+	underProvisioned := func(t *testing.T, naive bool) *System {
+		return buildHomogeneous(t, 8, 10, 1, 4, 12, 1, 0.5, 2.0, func(cfg *Config) {
+			cfg.NaiveAvailability = naive
+			cfg.TraceRounds = true
+		})
+	}
+	runDifferential(t, "obstruction/avoid", underProvisioned,
+		func() Generator { return genAvoidStored{} }, 20)
+
+	// Back-to-back viewings exercise frozen-entry self-possession.
+	backToBack := func(t *testing.T, naive bool) *System {
+		return buildHomogeneous(t, 25, 12, 2, 3, 8, 4, 2.0, 1.5, func(cfg *Config) {
+			cfg.NaiveAvailability = naive
+			cfg.TraceRounds = true
+		})
+	}
+	runDifferential(t, "preload/backtoback", backToBack,
+		func() Generator {
+			return &scripted{byRound: map[int][]Demand{
+				1:  {{Box: 0, Video: 0}},
+				11: {{Box: 0, Video: 1}},
+				12: {{Box: 1, Video: 0}},
+			}}
+		}, 30)
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/video"
+)
+
+// naiveAvailability is the executable specification of the availability
+// substrate: flat per-stripe entry slices with linear scans everywhere and
+// a full-catalog sweep on expiry — the original hot path, retained so the
+// differential tests can pin indexedAvailability to its exact semantics
+// (Config.NaiveAvailability selects it).
+type naiveAvailability struct {
+	T       int
+	entries [][]entry // per stripe, in insertion order
+}
+
+func newNaiveAvailability(numStripes, T int) *naiveAvailability {
+	return &naiveAvailability{T: T, entries: make([][]entry, numStripes)}
+}
+
+func (na *naiveAvailability) add(st video.StripeID, e entry) {
+	na.entries[st] = append(na.entries[st], e)
+}
+
+// expire drops cache entries whose window has passed: an entry started at
+// t_j serves only while t_j ≥ t − T (Section 2.2).
+func (na *naiveAvailability) expire(round int) {
+	cutoff := int32(round - na.T)
+	for st := range na.entries {
+		es := na.entries[st]
+		keep := 0
+		for i := range es {
+			if es[i].start >= cutoff {
+				es[keep] = es[i]
+				keep++
+			}
+		}
+		if keep != len(es) {
+			tail := es[keep:]
+			for i := range tail {
+				tail[i] = entry{}
+			}
+			na.entries[st] = es[:keep]
+		}
+	}
+}
+
+func (na *naiveAvailability) retire(st video.StripeID, req int32, final int32) {
+	for i := range na.entries[st] {
+		e := &na.entries[st][i]
+		if e.req == req {
+			e.frozen = final - e.lag
+			e.req = -1
+		}
+	}
+}
+
+func (na *naiveAvailability) visit(st video.StripeID, exclude int32, need int32, reqProgress []int32, fn func(right int) bool) {
+	for i := range na.entries[st] {
+		e := &na.entries[st][i]
+		if e.box != exclude && entryChunks(e, reqProgress) > need {
+			if !fn(int(e.box)) {
+				return
+			}
+		}
+	}
+}
+
+func (na *naiveAvailability) canServe(st video.StripeID, box int32, need int32, reqProgress []int32) bool {
+	for i := range na.entries[st] {
+		e := &na.entries[st][i]
+		if e.box == box && entryChunks(e, reqProgress) > need {
+			return true
+		}
+	}
+	return false
+}
+
+func (na *naiveAvailability) hasFull(st video.StripeID, box int32, full int32) bool {
+	for i := range na.entries[st] {
+		e := &na.entries[st][i]
+		if e.box == box && e.req == -1 && e.frozen >= full {
+			return true
+		}
+	}
+	return false
+}
+
+func (na *naiveAvailability) live(st video.StripeID) int { return len(na.entries[st]) }

@@ -100,6 +100,10 @@ type Config struct {
 	UStar float64
 	// Paranoid enables per-round matching verification (tests).
 	Paranoid bool
+	// NaiveAvailability selects the retained linear-scan reference
+	// availability store instead of the indexed one. It exists for the
+	// differential tests and ablations; production runs leave it false.
+	NaiveAvailability bool
 	// TraceRounds records per-round statistics in the report when true.
 	TraceRounds bool
 }

@@ -27,25 +27,28 @@ func (s *System) Step(gen Generator) (StepResult, error) {
 	s.round++
 	res := StepResult{Round: s.round}
 	s.tracker.BeginRound(s.round)
-	s.pruneEntries()
+	s.avail.expire(s.round)
 
-	// Retire completed requests (progress reached T).
-	for slot := range s.reqActive {
-		if s.reqActive[slot] && s.reqProgress[slot] >= int32(s.cat.T) {
-			s.retireRequest(int32(slot))
-		}
-	}
-
-	// Issue scheduled requests due this round.
-	keep := s.pending[:0]
-	for _, iss := range s.pending {
-		if iss.round == s.round {
-			s.issueRequest(iss.stripe, iss.requester, iss.viewer, iss.mirror)
+	// Retire completed requests (progress reached T). retireRequest
+	// swap-removes the current slot, so only advance on survivors.
+	for i := 0; i < len(s.activeList); {
+		slot := s.activeList[i]
+		if s.reqProgress[slot] >= int32(s.cat.T) {
+			s.retireRequest(slot)
 		} else {
-			keep = append(keep, iss)
+			i++
 		}
 	}
-	s.pending = keep
+
+	// Issue scheduled requests due this round. Strategies never schedule
+	// into the current round's bucket (delay ≥ 1), so draining it before
+	// admission is safe.
+	bucket := s.round % len(s.pendingRing)
+	due := s.pendingRing[bucket]
+	s.pendingRing[bucket] = due[:0]
+	for _, iss := range due {
+		s.issueRequest(iss.stripe, iss.requester, iss.viewer, iss.mirror)
+	}
 
 	// Admission.
 	if gen != nil {
@@ -93,8 +96,8 @@ func (s *System) Step(gen Generator) (StepResult, error) {
 	}
 
 	// Matched requests advance one chunk.
-	for slot := range s.reqActive {
-		if s.reqActive[slot] && s.matcher.Server(slot) != -1 {
+	for _, slot := range s.activeList {
+		if s.matcher.Server(int(slot)) != -1 {
 			s.reqProgress[slot]++
 		}
 	}
@@ -184,7 +187,7 @@ func (s *System) planHomogeneous(b int32, v video.ID, preloadIdx, postponeDelay 
 		if i == preloadIdx || postponeDelay == 0 {
 			s.issueRequest(st, b, b, -1)
 		} else {
-			s.pending = append(s.pending, issuance{
+			s.schedule(issuance{
 				round: s.round + postponeDelay, stripe: st, requester: b, viewer: b, mirror: -1})
 		}
 	}
@@ -207,7 +210,7 @@ func (s *System) planRelayedRich(b int32, v video.ID, preloadIdx int) int {
 			s.issueRequest(st, b, b, -1)
 		} else {
 			s.metrics.postponedReqs++
-			s.pending = append(s.pending, issuance{
+			s.schedule(issuance{
 				round: s.round + 2, stripe: st, requester: b, viewer: b, mirror: -1})
 		}
 	}
@@ -244,7 +247,7 @@ func (s *System) planRelayedPoor(b int32, v video.ID, preloadIdx int) int {
 			direct++
 			planned++
 			s.metrics.postponedReqs++
-			s.pending = append(s.pending, issuance{
+			s.schedule(issuance{
 				round: s.round + 2, stripe: st, requester: b, viewer: b, mirror: -1})
 			continue
 		}
@@ -254,7 +257,7 @@ func (s *System) planRelayedPoor(b int32, v video.ID, preloadIdx int) int {
 		}
 		planned++
 		s.metrics.relayedReqs++
-		s.pending = append(s.pending, issuance{
+		s.schedule(issuance{
 			round: s.round + 3, stripe: st, requester: r, viewer: b, mirror: b})
 	}
 	return planned

@@ -68,7 +68,9 @@ func (m *runMetrics) observeRound(s *System, res StepResult) {
 	}
 	m.utilSum += util
 	m.utilRounds++
-	if ms := s.tracker.MaxSize(); ms > m.maxSwarmEver {
+	// Sizes only grow on swarm entry, so the tracker's running peak equals
+	// the max over rounds of the end-of-round MaxSize sweep it replaces.
+	if ms := s.tracker.MaxSizeEver(); ms > m.maxSwarmEver {
 		m.maxSwarmEver = ms
 	}
 	if s.cfg.TraceRounds {

@@ -8,19 +8,6 @@ import (
 	"repro/internal/video"
 )
 
-// entry is a playback-cache record: box started receiving the stripe at
-// round start and can serve chunk p to any request that is at least one
-// chunk behind it, as long as the window t−T ≤ start holds (enforced by
-// pruning). A forwarded copy (relay → poor box) trails its backing request
-// by lag rounds.
-type entry struct {
-	box    int32
-	start  int32
-	req    int32 // backing request slot, or -1 once frozen
-	lag    int32
-	frozen int32 // progress at freeze time (valid when req == -1)
-}
-
 // issuance is a scheduled future request.
 type issuance struct {
 	round     int
@@ -30,16 +17,22 @@ type issuance struct {
 	mirror    int32 // box receiving a forwarded copy (lag 1), or -1
 }
 
+// maxIssuanceDelay bounds how far ahead a strategy may schedule a request;
+// the pending ring is sized from it. The relayed strategy's t+3 issuances
+// are the current maximum.
+const maxIssuanceDelay = 4
+
 // System is a runnable instance of the paper's video system.
 type System struct {
-	cfg     Config
-	cat     video.Catalog
-	n       int
-	caps    []int64
-	matcher *bipartite.Matcher
-	tracker *swarm.Tracker
-	round   int
-	failed  bool
+	cfg        Config
+	cat        video.Catalog
+	n          int
+	caps       []int64
+	totalSlots int64
+	matcher    *bipartite.Matcher
+	tracker    *swarm.Tracker
+	round      int
+	failed     bool
 
 	// Request slot arrays (index = matcher left ID).
 	reqStripe   []video.StripeID
@@ -51,12 +44,21 @@ type System struct {
 	freeSlots   []int32
 	activeReqs  int
 
-	entries [][]entry // per stripe, ordered by start
+	// Live request slots, swap-removed on retirement, so per-round sweeps
+	// cost O(live requests) instead of O(peak slots ever allocated).
+	activeList  []int32
+	posInActive []int32
+
+	// avail indexes the playback-cache entries (the swarm half of the
+	// Section 2.2 graph); the allocation half lives in cfg.Alloc.
+	avail availabilityStore
 
 	outstanding []int32 // per viewer box: unfinished requests + pending issuances
 	busy        []bool
 
-	pending []issuance // future scheduled requests (small, scanned per round)
+	// pendingRing holds scheduled future requests bucketed by due round
+	// (round mod len), so issuing costs O(due this round), not O(pending).
+	pendingRing [][]issuance
 
 	metrics runMetrics
 }
@@ -76,9 +78,17 @@ func NewSystem(cfg Config) (*System, error) {
 		caps:        caps,
 		matcher:     bipartite.NewMatcher(caps),
 		tracker:     swarm.NewTracker(cat.M, cat.T, cfg.Mu),
-		entries:     make([][]entry, cat.NumStripes()),
 		outstanding: make([]int32, n),
 		busy:        make([]bool, n),
+		pendingRing: make([][]issuance, maxIssuanceDelay+1),
+	}
+	if cfg.NaiveAvailability {
+		s.avail = newNaiveAvailability(cat.NumStripes(), cat.T)
+	} else {
+		s.avail = newIndexedAvailability(cat.NumStripes(), cat.T)
+	}
+	for _, c := range caps {
+		s.totalSlots += c
 	}
 	s.metrics.init(n)
 	return s, nil
@@ -99,13 +109,7 @@ func (s *System) Catalog() video.Catalog { return s.cat }
 func (s *System) NumBoxes() int { return s.n }
 
 // TotalSlots returns the total matcher capacity in stripe slots.
-func (s *System) TotalSlots() int64 {
-	var t int64
-	for _, c := range s.caps {
-		t += c
-	}
-	return t
-}
+func (s *System) TotalSlots() int64 { return s.totalSlots }
 
 // allocSlot takes a request slot from the free list or grows the arrays.
 func (s *System) allocSlot() int32 {
@@ -121,7 +125,20 @@ func (s *System) allocSlot() int32 {
 	s.reqViewer = append(s.reqViewer, 0)
 	s.reqProgress = append(s.reqProgress, 0)
 	s.reqActive = append(s.reqActive, false)
+	s.posInActive = append(s.posInActive, -1)
 	return slot
+}
+
+// schedule enqueues a future request on the pending ring. The due round
+// must be within the ring's horizon (strategies schedule at most
+// maxIssuanceDelay rounds ahead).
+func (s *System) schedule(iss issuance) {
+	delta := iss.round - s.round
+	if delta <= 0 || delta > maxIssuanceDelay {
+		panic(fmt.Sprintf("core: issuance scheduled %d rounds ahead (max %d)", delta, maxIssuanceDelay))
+	}
+	bucket := iss.round % len(s.pendingRing)
+	s.pendingRing[bucket] = append(s.pendingRing[bucket], iss)
 }
 
 // issueRequest creates an active request and its cache entries.
@@ -134,12 +151,13 @@ func (s *System) issueRequest(stripe video.StripeID, requester, viewer, mirror i
 	s.reqProgress[slot] = 0
 	s.reqActive[slot] = true
 	s.activeReqs++
+	s.posInActive[slot] = int32(len(s.activeList))
+	s.activeList = append(s.activeList, slot)
 	s.matcher.AddLeft(int(slot))
 	if !s.cfg.DisableCacheServing {
-		s.entries[stripe] = append(s.entries[stripe], entry{box: requester, start: int32(s.round), req: slot})
+		s.avail.add(stripe, entry{box: requester, start: int32(s.round), req: slot})
 		if mirror >= 0 {
-			s.entries[stripe] = append(s.entries[stripe],
-				entry{box: mirror, start: int32(s.round + 1), req: slot, lag: 1})
+			s.avail.add(stripe, entry{box: mirror, start: int32(s.round + 1), req: slot, lag: 1})
 		}
 	}
 	if s.activeReqs > s.metrics.peakRequests {
@@ -150,18 +168,17 @@ func (s *System) issueRequest(stripe video.StripeID, requester, viewer, mirror i
 // retireRequest completes a request: frees the slot, freezes its cache
 // entries, and releases the viewer when its last request finishes.
 func (s *System) retireRequest(slot int32) {
-	stripe := s.reqStripe[slot]
-	// Freeze cache entries backed by this request at their final progress.
-	for i := range s.entries[stripe] {
-		e := &s.entries[stripe][i]
-		if e.req == slot {
-			e.frozen = s.reqProgress[slot] - e.lag
-			e.req = -1
-		}
-	}
+	s.avail.retire(s.reqStripe[slot], slot, s.reqProgress[slot])
 	s.matcher.RemoveLeft(int(slot))
 	s.reqActive[slot] = false
 	s.activeReqs--
+	// Swap-remove from the live list.
+	pos := s.posInActive[slot]
+	last := s.activeList[len(s.activeList)-1]
+	s.activeList[pos] = last
+	s.posInActive[last] = pos
+	s.activeList = s.activeList[:len(s.activeList)-1]
+	s.posInActive[slot] = -1
 	s.freeSlots = append(s.freeSlots, slot)
 	s.finishOne(s.reqViewer[slot])
 }
@@ -174,18 +191,6 @@ func (s *System) finishOne(viewer int32) {
 		s.busy[viewer] = false
 		s.metrics.completedViewings++
 	}
-}
-
-// entryProgress returns how many chunks the entry's box has of the stripe.
-func (s *System) entryProgress(e *entry) int32 {
-	if e.req >= 0 {
-		p := s.reqProgress[e.req] - e.lag
-		if p < 0 {
-			return 0
-		}
-		return p
-	}
-	return e.frozen
 }
 
 // adjacency implements bipartite.Adjacency over the allocation and the
@@ -209,15 +214,7 @@ func (a adjacency) VisitServers(left int, fn func(right int) bool) {
 	if s.cfg.DisableCacheServing {
 		return
 	}
-	need := s.reqProgress[slot]
-	for i := range s.entries[stripe] {
-		e := &s.entries[stripe][i]
-		if e.box != requester && s.entryProgress(e) > need {
-			if !fn(int(e.box)) {
-				return
-			}
-		}
-	}
+	s.avail.visit(stripe, requester, s.reqProgress[slot], s.reqProgress, fn)
 }
 
 // CanServe mirrors VisitServers for a single candidate.
@@ -237,37 +234,35 @@ func (a adjacency) CanServe(left, right int) bool {
 	if s.cfg.DisableCacheServing {
 		return false
 	}
-	need := s.reqProgress[slot]
-	for i := range s.entries[stripe] {
-		e := &s.entries[stripe][i]
-		if int(e.box) == right && s.entryProgress(e) > need {
+	return s.avail.canServe(stripe, int32(right), s.reqProgress[slot], s.reqProgress)
+}
+
+// ServerCountHint implements bipartite.Hinted: a cheap upper bound on
+// |B(x)| — allocation replicas plus live cache entries of the stripe. Zero
+// certifies the request currently has no server at all, letting the
+// matcher skip dead probes.
+func (a adjacency) ServerCountHint(left int) int {
+	s := a.s
+	stripe := s.reqStripe[int32(left)]
+	hint := len(s.cfg.Alloc.ByStripe[stripe])
+	if !s.cfg.DisableCacheServing {
+		hint += s.avail.live(stripe)
+	}
+	return hint
+}
+
+// StableEdge implements bipartite.Hinted: an assignment to a box that
+// statically stores the stripe can never go stale — the allocation does
+// not change and the requester exclusion is fixed per slot — so the
+// matcher's Revalidate skips re-probing it.
+func (a adjacency) StableEdge(left, right int) bool {
+	s := a.s
+	for _, b := range s.cfg.Alloc.ByStripe[s.reqStripe[int32(left)]] {
+		if int(b) == right {
 			return true
 		}
 	}
 	return false
-}
-
-// pruneEntries drops cache entries whose window has expired: an entry
-// started at t_j serves only while t_j ≥ t − T (Section 2.2).
-func (s *System) pruneEntries() {
-	cutoff := int32(s.round - s.cat.T)
-	for st := range s.entries {
-		es := s.entries[st]
-		keep := 0
-		for i := range es {
-			if es[i].start >= cutoff {
-				es[keep] = es[i]
-				keep++
-			}
-		}
-		if keep != len(es) {
-			tail := es[keep:]
-			for i := range tail {
-				tail[i] = entry{}
-			}
-			s.entries[st] = es[:keep]
-		}
-	}
 }
 
 // selfPossesses reports whether box b already has stripe st available
@@ -280,13 +275,7 @@ func (s *System) selfPossesses(b int32, st video.StripeID) bool {
 	if s.cfg.DisableCacheServing {
 		return false
 	}
-	for i := range s.entries[st] {
-		e := &s.entries[st][i]
-		if e.box == b && e.req == -1 && e.frozen >= int32(s.cat.T) {
-			return true
-		}
-	}
-	return false
+	return s.avail.hasFull(st, b, int32(s.cat.T))
 }
 
 // String summarizes the system state for debugging.

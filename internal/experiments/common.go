@@ -1,9 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-	"sync"
-
 	"repro/internal/adversary"
 	"repro/internal/allocation"
 	"repro/internal/core"
@@ -136,101 +133,4 @@ func maxFeasibleCatalog(o Options, p homParams, rounds, seeds int, tweak func(*c
 	}
 	m := p.d * p.n / hi
 	return m, hi, nil
-}
-
-// parallelAll runs fn(0..trials-1) on a bounded worker pool and reports
-// whether every call returned true, failing fast on errors. It is the
-// Monte-Carlo backbone of the harness.
-func parallelAll(workers, trials int, fn func(i int) (bool, error)) (bool, error) {
-	if workers > trials {
-		workers = trials
-	}
-	if workers <= 1 {
-		for i := 0; i < trials; i++ {
-			ok, err := fn(i)
-			if err != nil || !ok {
-				return false, err
-			}
-		}
-		return true, nil
-	}
-	var (
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		allOK  = true
-		oneErr error
-		next   int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if !allOK || oneErr != nil || next >= trials {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				ok, err := fn(i)
-				if err != nil || !ok {
-					mu.Lock()
-					if err != nil && oneErr == nil {
-						oneErr = err
-					}
-					if !ok {
-						allOK = false
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return allOK && oneErr == nil, oneErr
-}
-
-// parallelCount runs fn over trials on the pool and returns how many
-// returned true (Monte-Carlo frequency estimation).
-func parallelCount(workers, trials int, fn func(i int) (bool, error)) (int, error) {
-	if workers > trials {
-		workers = trials
-	}
-	results := make([]bool, trials)
-	errs := make([]error, trials)
-	if workers <= 1 {
-		for i := range results {
-			results[i], errs[i] = fn(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					results[i], errs[i] = fn(i)
-				}
-			}()
-		}
-		for i := 0; i < trials; i++ {
-			work <- i
-		}
-		close(work)
-		wg.Wait()
-	}
-	count := 0
-	for i := range results {
-		if errs[i] != nil {
-			return 0, fmt.Errorf("trial %d: %w", i, errs[i])
-		}
-		if results[i] {
-			count++
-		}
-	}
-	return count, nil
 }

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0), …, fn(n-1) on a bounded worker pool and returns the
+// first error encountered; once a call fails, no further indices are
+// dispatched (in-flight calls finish). It is the shared backbone for the
+// Monte-Carlo trial pools and the experiment/replica runners in the cmds.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// RunMany executes the given experiments concurrently on the options'
+// worker pool and returns their results in input order. Experiments also
+// parallelize their own Monte-Carlo trials over the same worker count, so
+// peak goroutine count can reach workers², but trials are short-lived and
+// CPU-bound, so the scheduler keeps effective parallelism at GOMAXPROCS.
+func RunMany(o Options, exps []Experiment) []Result {
+	results := make([]Result, len(exps))
+	_ = ForEach(o.workers(), len(exps), func(i int) error {
+		results[i] = exps[i].Run(o)
+		return nil
+	})
+	return results
+}
+
+// errTrialFailed is parallelAll's internal "stop, a trial came back false"
+// signal; it never escapes to callers.
+var errTrialFailed = fmt.Errorf("experiments: trial failed")
+
+// parallelAll runs fn(0..trials-1) on a bounded worker pool and reports
+// whether every call returned true, failing fast on errors and false
+// results. It is the Monte-Carlo backbone of the feasibility searches.
+func parallelAll(workers, trials int, fn func(i int) (bool, error)) (bool, error) {
+	// A real error must surface even when a plain false result wins the
+	// ForEach first-error race, so track it separately.
+	var (
+		mu      sync.Mutex
+		realErr error
+	)
+	err := ForEach(workers, trials, func(i int) error {
+		ok, err := fn(i)
+		if err != nil {
+			err = fmt.Errorf("trial %d: %w", i, err)
+			mu.Lock()
+			if realErr == nil {
+				realErr = err
+			}
+			mu.Unlock()
+			return err
+		}
+		if !ok {
+			return errTrialFailed
+		}
+		return nil
+	})
+	if realErr != nil {
+		return false, realErr
+	}
+	if err == errTrialFailed {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// parallelCount runs fn over trials on the pool and returns how many
+// returned true (Monte-Carlo frequency estimation).
+func parallelCount(workers, trials int, fn func(i int) (bool, error)) (int, error) {
+	var count atomic.Int64
+	err := ForEach(workers, trials, func(i int) error {
+		ok, err := fn(i)
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", i, err)
+		}
+		if ok {
+			count.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(count.Load()), nil
+}

@@ -2,6 +2,11 @@
 // maximal swarm growth bound (f(t+1) ≤ ⌈max{f(t),1}·µ⌉, Section 1.1), and
 // maintains the per-video round-robin counters that balance preloading
 // requests over stripes (Section 3).
+//
+// The tracker is output-sensitive: per-round cost scales with the number
+// of videos that currently carry swarm state, not with the catalog size,
+// and the aggregate counters (viewers, active swarms, peak size) are
+// maintained incrementally.
 package swarm
 
 import (
@@ -11,18 +16,53 @@ import (
 	"repro/internal/video"
 )
 
+// memberQueue is a FIFO of entry rounds with an explicit head so dequeues
+// never reallocate; the backing array is recycled once fully drained.
+type memberQueue struct {
+	rounds []int
+	head   int
+}
+
+func (q *memberQueue) push(round int) { q.rounds = append(q.rounds, round) }
+func (q *memberQueue) empty() bool    { return q.head >= len(q.rounds) }
+func (q *memberQueue) front() int     { return q.rounds[q.head] }
+func (q *memberQueue) pop() {
+	q.head++
+	if q.head >= len(q.rounds) {
+		q.rounds = q.rounds[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head > len(q.rounds)/2 {
+		// Compact so a never-draining queue (a perpetually hot video)
+		// stays O(live members); each copy moves at most as many
+		// elements as the pops that paid for it.
+		n := copy(q.rounds, q.rounds[q.head:])
+		q.rounds = q.rounds[:n]
+		q.head = 0
+	}
+}
+
 // Tracker follows swarm sizes across rounds. A box is a member of video
 // v's swarm for exactly T rounds after entering.
 type Tracker struct {
-	mu      float64
-	t       int // duration of membership (the video length T)
-	m       int
-	round   int
-	sizes   []int   // current swarm size per video
-	prev    []int   // swarm size at the end of the previous round
-	entered []int   // entries already admitted this round
-	counter []int64 // preload round-robin counter per video
-	expiry  [][]int // per video, entry rounds of current members (FIFO)
+	mu    float64
+	t     int // duration of membership (the video length T)
+	m     int
+	round int
+
+	sizes   []int         // current swarm size per video
+	prev    []int         // swarm size at the end of the previous round
+	entered []int         // entries already admitted this round
+	counter []int64       // preload round-robin counter per video
+	expiry  []memberQueue // per video, entry rounds of current members
+
+	// Dense list of videos carrying swarm state; BeginRound touches only
+	// these. pos[v] is v's index in activeVids, or -1.
+	activeVids []video.ID
+	pos        []int32
+
+	totalViewers int
+	activeSwarms int
+	maxEver      int
 }
 
 // NewTracker creates a tracker for m videos of duration t rounds with
@@ -31,7 +71,7 @@ func NewTracker(m, t int, mu float64) *Tracker {
 	if m <= 0 || t <= 0 || mu < 1 {
 		panic(fmt.Sprintf("swarm: invalid tracker m=%d t=%d µ=%v", m, t, mu))
 	}
-	return &Tracker{
+	tr := &Tracker{
 		mu:      mu,
 		t:       t,
 		m:       m,
@@ -39,27 +79,61 @@ func NewTracker(m, t int, mu float64) *Tracker {
 		prev:    make([]int, m),
 		entered: make([]int, m),
 		counter: make([]int64, m),
-		expiry:  make([][]int, m),
+		expiry:  make([]memberQueue, m),
+		pos:     make([]int32, m),
 	}
+	for v := range tr.pos {
+		tr.pos[v] = -1
+	}
+	return tr
+}
+
+// activate puts v on the live list.
+func (tr *Tracker) activate(v video.ID) {
+	if tr.pos[v] < 0 {
+		tr.pos[v] = int32(len(tr.activeVids))
+		tr.activeVids = append(tr.activeVids, v)
+	}
+}
+
+// deactivateAt swap-removes the video at index i of the live list.
+func (tr *Tracker) deactivateAt(i int) {
+	v := tr.activeVids[i]
+	last := tr.activeVids[len(tr.activeVids)-1]
+	tr.activeVids[i] = last
+	tr.pos[last] = int32(i)
+	tr.activeVids = tr.activeVids[:len(tr.activeVids)-1]
+	tr.pos[v] = -1
 }
 
 // BeginRound advances the tracker to the given round: it snapshots the
 // previous sizes (the f(t) of the growth bound) and expires members whose
-// T rounds have elapsed. Rounds must be strictly increasing.
+// T rounds have elapsed. Rounds must be strictly increasing. Only videos
+// with live swarm state are touched; a video leaves the live list one
+// round after its swarm fully drains (so its f(t) snapshot reaches zero).
 func (tr *Tracker) BeginRound(round int) {
 	if round <= tr.round && round != 0 {
 		panic(fmt.Sprintf("swarm: BeginRound(%d) after round %d", round, tr.round))
 	}
 	tr.round = round
-	for v := 0; v < tr.m; v++ {
+	for i := 0; i < len(tr.activeVids); {
+		v := tr.activeVids[i]
 		tr.prev[v] = tr.sizes[v]
 		tr.entered[v] = 0
-		q := tr.expiry[v]
-		for len(q) > 0 && q[0]+tr.t <= round {
-			q = q[1:]
+		q := &tr.expiry[v]
+		for !q.empty() && q.front()+tr.t <= round {
+			q.pop()
 			tr.sizes[v]--
+			tr.totalViewers--
+			if tr.sizes[v] == 0 {
+				tr.activeSwarms--
+			}
 		}
-		tr.expiry[v] = q
+		if tr.sizes[v] == 0 && tr.prev[v] == 0 && q.empty() {
+			tr.deactivateAt(i) // swap-remove: revisit index i
+		} else {
+			i++
+		}
 	}
 }
 
@@ -93,9 +167,17 @@ func (tr *Tracker) Enter(v video.ID, c int) (int, error) {
 	}
 	idx := int(tr.counter[v] % int64(c))
 	tr.counter[v]++
+	if tr.sizes[v] == 0 {
+		tr.activeSwarms++
+	}
 	tr.sizes[v]++
+	tr.totalViewers++
+	if tr.sizes[v] > tr.maxEver {
+		tr.maxEver = tr.sizes[v]
+	}
 	tr.entered[v]++
-	tr.expiry[v] = append(tr.expiry[v], tr.round)
+	tr.activate(v)
+	tr.expiry[v].push(tr.round)
 	return idx, nil
 }
 
@@ -106,32 +188,22 @@ func (tr *Tracker) EnteredThisRound(v video.ID) int { return tr.entered[v] }
 func (tr *Tracker) Counter(v video.ID) int64 { return tr.counter[v] }
 
 // ActiveSwarms returns the number of videos with a non-empty swarm.
-func (tr *Tracker) ActiveSwarms() int {
-	n := 0
-	for _, s := range tr.sizes {
-		if s > 0 {
-			n++
-		}
-	}
-	return n
-}
+func (tr *Tracker) ActiveSwarms() int { return tr.activeSwarms }
 
 // TotalViewers returns the total swarm membership over all videos.
-func (tr *Tracker) TotalViewers() int {
-	n := 0
-	for _, s := range tr.sizes {
-		n += s
-	}
-	return n
-}
+func (tr *Tracker) TotalViewers() int { return tr.totalViewers }
 
 // MaxSize returns the largest current swarm size.
 func (tr *Tracker) MaxSize() int {
 	best := 0
-	for _, s := range tr.sizes {
-		if s > best {
-			best = s
+	for _, v := range tr.activeVids {
+		if tr.sizes[v] > best {
+			best = tr.sizes[v]
 		}
 	}
 	return best
 }
+
+// MaxSizeEver returns the largest swarm size ever reached. Since sizes
+// only grow on Enter, this equals the maximum over rounds of MaxSize.
+func (tr *Tracker) MaxSizeEver() int { return tr.maxEver }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/video"
 )
 
 func TestTrackerBasics(t *testing.T) {
@@ -218,5 +220,51 @@ func TestQuickAllowanceConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHotVideoQueueBounded pins the memberQueue compaction: a video with
+// arrivals every round for many membership windows must keep its expiry
+// queue proportional to live members, not to total entries ever admitted.
+func TestHotVideoQueueBounded(t *testing.T) {
+	const T = 10
+	tr := NewTracker(2, T, 4.0)
+	for round := 1; round <= 5000; round++ {
+		tr.BeginRound(round)
+		for tr.Allowance(0) > 0 && tr.EnteredThisRound(0) < 3 {
+			if _, err := tr.Enter(0, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	q := &tr.expiry[0]
+	if live := len(q.rounds) - q.head; live != tr.Size(0) {
+		t.Fatalf("queue live length %d != swarm size %d", live, tr.Size(0))
+	}
+	// 3 entries/round for T rounds live at once; the backing array must be
+	// within a small constant of that, not ~15000.
+	if cap(q.rounds) > 16*3*T {
+		t.Fatalf("queue backing array grew to %d for %d live members", cap(q.rounds), tr.Size(0))
+	}
+}
+
+// TestMaxSizeEver pins the incremental peak against per-round MaxSize.
+func TestMaxSizeEver(t *testing.T) {
+	tr := NewTracker(3, 4, 2.0)
+	peak := 0
+	for round := 1; round <= 40; round++ {
+		tr.BeginRound(round)
+		v := video.ID(round % 3)
+		for tr.Allowance(v) > 0 && tr.EnteredThisRound(v) < 2 {
+			if _, err := tr.Enter(v, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ms := tr.MaxSize(); ms > peak {
+			peak = ms
+		}
+	}
+	if tr.MaxSizeEver() != peak {
+		t.Fatalf("MaxSizeEver = %d, per-round peak = %d", tr.MaxSizeEver(), peak)
 	}
 }
