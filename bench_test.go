@@ -52,6 +52,7 @@ func BenchmarkE11MatchingEnginesTable(b *testing.B)  { benchExperiment(b, "E11")
 func BenchmarkE12ProtocolGap(b *testing.B)           { benchExperiment(b, "E12") }
 func BenchmarkE13StrategyAblation(b *testing.B)      { benchExperiment(b, "E13") }
 func BenchmarkE14ExpanderAudit(b *testing.B)         { benchExperiment(b, "E14") }
+func BenchmarkE15PopulationScaling(b *testing.B)     { benchExperiment(b, "E15") }
 func BenchmarkT1Planner(b *testing.B)                { benchExperiment(b, "T1") }
 
 // --- Micro-benchmarks: max-flow solvers (E11 wall-clock half) ---
@@ -278,13 +279,11 @@ func (g *sweepArrivals) Next(v *View, _ int) []Demand {
 	return out
 }
 
-// BenchmarkStepLargeSwarm tracks the availability/scheduling hot path at
-// production scale: 100k boxes, a ~50k-video catalog (200k stripes), and
-// sustained arrivals. Per-round cost must scale with live cache entries and
-// in-flight requests, not with catalog size or the historical peak slot
-// count.
-func BenchmarkStepLargeSwarm(b *testing.B) {
-	const n = 100_000
+// benchStepBounded drives Step at population n with an arrival rate that
+// is *independent* of n (fixed demands/round), so the live request set —
+// and therefore, with fully output-sensitive rounds, the per-round cost —
+// is the same at every population size.
+func benchStepBounded(b *testing.B, n, perRound int) {
 	sys, err := New(Spec{
 		Boxes: n, Upload: 2.0, Storage: 2, Stripes: 4, Replicas: 4,
 		Duration: 50, Growth: 1.2, Seed: 17,
@@ -292,7 +291,7 @@ func BenchmarkStepLargeSwarm(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	gen := &sweepArrivals{perRound: n / 1000}
+	gen := &sweepArrivals{perRound: perRound}
 	// Warm past the first cache-window expiry so measured rounds carry
 	// steady-state expiry and retirement work.
 	for r := 0; r < 60; r++ {
@@ -309,6 +308,20 @@ func BenchmarkStepLargeSwarm(b *testing.B) {
 	}
 	b.ReportMetric(float64(sys.View().ActiveRequests()), "active_requests")
 }
+
+// BenchmarkStepLargeSwarm tracks the availability/scheduling hot path at
+// production scale: 100k boxes, a ~50k-video catalog (200k stripes), and
+// sustained arrivals. Per-round cost must scale with live cache entries and
+// in-flight requests, not with catalog size or the historical peak slot
+// count.
+func BenchmarkStepLargeSwarm(b *testing.B) { benchStepBounded(b, 100_000, 100) }
+
+// BenchmarkStepMillionBoxes is BenchmarkStepLargeSwarm at 10× the
+// population with the *same* bounded live workload (100 arrivals/round).
+// With event-driven invalidation and the idle-box index the round loop is
+// fully output-sensitive, so ns/op here must stay within ~2× of the
+// large-swarm benchmark — round cost no longer scales with n.
+func BenchmarkStepMillionBoxes(b *testing.B) { benchStepBounded(b, 1_000_000, 100) }
 
 // --- Protocol and netsim benchmarks ---
 

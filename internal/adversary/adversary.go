@@ -55,6 +55,7 @@ type FlashCrowd struct {
 	Rotate bool
 
 	grew bool
+	idle []int // per-round scratch, reused across Next calls
 }
 
 // Next implements core.Generator.
@@ -65,7 +66,8 @@ func (g *FlashCrowd) Next(v *core.View, _ int) []core.Demand {
 	}
 	var out []core.Demand
 	ba := newBatchAllowance(v)
-	for _, b := range v.IdleBoxes(nil) {
+	g.idle = v.IdleBoxes(g.idle[:0])
+	for _, b := range g.idle {
 		if !ba.take(g.Target) {
 			break
 		}
@@ -81,14 +83,17 @@ func (g *FlashCrowd) Next(v *core.View, _ int) []core.Demand {
 // demands some video it stores no stripe of, guaranteeing the box
 // contributes full download load while its own storage is useless for its
 // demand.
-type AvoidPossession struct{}
+type AvoidPossession struct {
+	idle []int // per-round scratch, reused across Next calls
+}
 
 // Next implements core.Generator.
-func (AvoidPossession) Next(v *core.View, _ int) []core.Demand {
+func (g *AvoidPossession) Next(v *core.View, _ int) []core.Demand {
 	var out []core.Demand
 	cat := v.Catalog()
 	ba := newBatchAllowance(v)
-	for _, b := range v.IdleBoxes(nil) {
+	g.idle = v.IdleBoxes(g.idle[:0])
+	for _, b := range g.idle {
 		for m := 0; m < cat.M; m++ {
 			vid := video.ID(m)
 			if v.SwarmAllowance(vid)-ba.used[vid] <= 0 {
@@ -115,14 +120,17 @@ func (AvoidPossession) Next(v *core.View, _ int) []core.Demand {
 // possible: box b watches video b mod m, re-demanding as soon as it goes
 // idle. This maximizes sourcing load: no two viewers share a swarm, so
 // playback caches are useless to others.
-type DistinctVideos struct{}
+type DistinctVideos struct {
+	idle []int // per-round scratch, reused across Next calls
+}
 
 // Next implements core.Generator.
-func (DistinctVideos) Next(v *core.View, _ int) []core.Demand {
+func (g *DistinctVideos) Next(v *core.View, _ int) []core.Demand {
 	var out []core.Demand
 	m := v.Catalog().M
 	ba := newBatchAllowance(v)
-	for _, b := range v.IdleBoxes(nil) {
+	g.idle = v.IdleBoxes(g.idle[:0])
+	for _, b := range g.idle {
 		vid := video.ID(b % m)
 		if ba.take(vid) {
 			out = append(out, core.Demand{Box: b, Video: vid})
@@ -136,6 +144,7 @@ func (DistinctVideos) Next(v *core.View, _ int) []core.Demand {
 // search for Hall violators in the allocation.
 type WeakestVideos struct {
 	ranked []video.ID
+	idle   []int // per-round scratch, reused across Next calls
 }
 
 // Next implements core.Generator.
@@ -144,7 +153,8 @@ func (g *WeakestVideos) Next(v *core.View, _ int) []core.Demand {
 		g.rank(v)
 	}
 	var out []core.Demand
-	idle := v.IdleBoxes(nil)
+	g.idle = v.IdleBoxes(g.idle[:0])
+	idle := g.idle
 	i := 0
 	for _, vid := range g.ranked {
 		allow := v.SwarmAllowance(vid)
@@ -195,6 +205,7 @@ type Zipf struct {
 	S   float64
 
 	dist *stats.Zipf
+	idle []int // per-round scratch, reused across Next calls
 }
 
 // Next implements core.Generator.
@@ -204,7 +215,8 @@ func (g *Zipf) Next(v *core.View, _ int) []core.Demand {
 	}
 	var out []core.Demand
 	ba := newBatchAllowance(v)
-	for _, b := range v.IdleBoxes(nil) {
+	g.idle = v.IdleBoxes(g.idle[:0])
+	for _, b := range g.idle {
 		if !g.RNG.Bool(g.P) {
 			continue
 		}
@@ -221,6 +233,8 @@ func (g *Zipf) Next(v *core.View, _ int) []core.Demand {
 type Poisson struct {
 	RNG    *stats.RNG
 	Lambda float64
+
+	idle []int // per-round scratch, reused across Next calls
 }
 
 // Next implements core.Generator.
@@ -229,7 +243,8 @@ func (g *Poisson) Next(v *core.View, _ int) []core.Demand {
 	if count == 0 {
 		return nil
 	}
-	idle := v.IdleBoxes(nil)
+	g.idle = v.IdleBoxes(g.idle[:0])
+	idle := g.idle
 	if len(idle) == 0 {
 		return nil
 	}
@@ -257,6 +272,7 @@ type Churn struct {
 	WaveSize int
 
 	next video.ID
+	idle []int // per-round scratch, reused across Next calls
 }
 
 // Next implements core.Generator.
@@ -265,7 +281,8 @@ func (g *Churn) Next(v *core.View, round int) []core.Demand {
 		return nil
 	}
 	var out []core.Demand
-	idle := v.IdleBoxes(nil)
+	g.idle = v.IdleBoxes(g.idle[:0])
+	idle := g.idle
 	m := v.Catalog().M
 	ba := newBatchAllowance(v)
 	for _, b := range idle {
@@ -293,6 +310,7 @@ type PoorFirst struct {
 	UStar float64
 
 	next video.ID
+	idle []int // per-round scratch, reused across Next calls
 }
 
 // Next implements core.Generator.
@@ -310,7 +328,8 @@ func (g *PoorFirst) Next(v *core.View, _ int) []core.Demand {
 			g.next = video.ID((int(g.next) + 1) % m)
 		}
 	}
-	idle := v.IdleBoxes(nil)
+	g.idle = v.IdleBoxes(g.idle[:0])
+	idle := g.idle
 	for _, b := range idle {
 		if v.Upload(b) < g.UStar {
 			emit(b)

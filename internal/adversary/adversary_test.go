@@ -60,7 +60,7 @@ func TestFlashCrowdRotation(t *testing.T) {
 
 func TestAvoidPossessionPicksUnstoredVideos(t *testing.T) {
 	sys := buildSystem(t, 3, 12, 1, 4, 10, 1, 2.5, 2) // m = 12, each box stores ≤ 4 stripes
-	gen := AvoidPossession{}
+	gen := &AvoidPossession{}
 	v := sys.View()
 	demands := gen.Next(v, 0)
 	if len(demands) == 0 {
@@ -78,7 +78,7 @@ func TestAvoidPossessionPicksUnstoredVideos(t *testing.T) {
 
 func TestDistinctVideosSpreads(t *testing.T) {
 	sys := buildSystem(t, 4, 12, 2, 4, 10, 4, 2.5, 2)
-	gen := DistinctVideos{}
+	gen := &DistinctVideos{}
 	demands := gen.Next(sys.View(), 0)
 	seen := map[video.ID]int{}
 	for _, d := range demands {
@@ -266,7 +266,7 @@ func TestAdversarySuiteAgainstSafeSystem(t *testing.T) {
 	// the allocation (Theorem 1 regime, well above thresholds).
 	gens := map[string]func() core.Generator{
 		"flash":    func() core.Generator { return &FlashCrowd{Target: 0, Rotate: true} },
-		"distinct": func() core.Generator { return DistinctVideos{} },
+		"distinct": func() core.Generator { return &DistinctVideos{} },
 		"weakest":  func() core.Generator { return &WeakestVideos{} },
 		"churn":    func() core.Generator { return &Churn{Period: 2, WaveSize: 4} },
 		"zipf":     func() core.Generator { return &Zipf{RNG: stats.NewRNG(31), P: 0.4, S: 0.8} },

@@ -88,6 +88,14 @@ type Matcher struct {
 	// right, so the cache lives until the left ID is recycled by AddLeft.
 	stableTo []int32
 
+	// Assignment log for event-driven callers: when enabled, every left
+	// that receives an assignment (including intermediate moves along
+	// augmenting paths) is appended here, so the caller can re-derive its
+	// invalidation certificate without sweeping the active set. Entries
+	// may repeat and may refer to lefts unassigned again later.
+	logAssigns bool
+	assignLog  []int32
+
 	matchedCount int
 }
 
@@ -210,6 +218,9 @@ func (m *Matcher) assign(l, r int) {
 	m.rightLefts[r] = append(m.rightLefts[r], int32(l))
 	m.load[r]++
 	m.matchedCount++
+	if m.logAssigns {
+		m.assignLog = append(m.assignLog, int32(l))
+	}
 }
 
 func (m *Matcher) unassign(l int) {
@@ -234,38 +245,111 @@ func (m *Matcher) move(l, r int) {
 	m.assign(l, r)
 }
 
+// revalidateOne re-checks left l's assignment and unassigns it when the
+// edge has disappeared, returning true if the assignment was dropped.
+// Shared by the full Revalidate sweep and targeted Invalidate calls so
+// both paths apply identical stable-edge and dead-probe shortcuts.
+func (m *Matcher) revalidateOne(adj Adjacency, hinter Hinted, l int) bool {
+	r := m.assigned[l]
+	if r == Unassigned {
+		return false
+	}
+	if m.stableTo[l] == r {
+		return false
+	}
+	if hinter != nil {
+		if hinter.StableEdge(l, int(r)) {
+			m.stableTo[l] = r
+			return false
+		}
+		if hinter.ServerCountHint(l) == 0 {
+			m.unassign(l)
+			return true
+		}
+	}
+	if !adj.CanServe(l, int(r)) {
+		m.unassign(l)
+		return true
+	}
+	return false
+}
+
 // Revalidate drops every assignment whose edge has disappeared (server no
 // longer possesses the chunk, e.g. a playback cache rolled past the
 // window). Returns the number of dropped assignments.
 func (m *Matcher) Revalidate(adj Adjacency) int {
-	hinter, hinted := adj.(Hinted)
+	hinter, _ := adj.(Hinted)
 	dropped := 0
 	for _, l32 := range m.activeLefts {
-		l := int(l32)
-		r := m.assigned[l]
-		if r == Unassigned {
-			continue
-		}
-		if m.stableTo[l] == r {
-			continue
-		}
-		if hinted {
-			if hinter.StableEdge(l, int(r)) {
-				m.stableTo[l] = r
-				continue
-			}
-			if hinter.ServerCountHint(l) == 0 {
-				m.unassign(l)
-				dropped++
-				continue
-			}
-		}
-		if !adj.CanServe(l, int(r)) {
-			m.unassign(l)
+		if m.revalidateOne(adj, hinter, int(l32)) {
 			dropped++
 		}
 	}
 	return dropped
+}
+
+// InvalidateBatch is the targeted, event-driven counterpart of the
+// Revalidate sweep: callers that know which serving relations changed
+// (cache freeze or expiry notifications) invalidate exactly the touched
+// lefts, making per-round repair cost proportional to the change volume
+// instead of the active set. Candidates are re-checked in active-list
+// order — the relative order the sweep uses — so as long as the set
+// covers every assignment whose edge actually disappeared, the drops
+// (and therefore the dirty-queue order, the per-right list layouts, and
+// every subsequent augmentation choice) are bit-for-bit identical to a
+// full sweep: targeted repair is indistinguishable from Revalidate, just
+// output-sensitive. The slice is sorted in place; duplicates and
+// inactive lefts are skipped. Returns the number of drops (each dropped
+// left is re-queued for augmentation).
+func (m *Matcher) InvalidateBatch(adj Adjacency, lefts []int32) int {
+	hinter, _ := adj.(Hinted)
+	sort.Slice(lefts, func(i, j int) bool {
+		pi, pj := m.posActive[lefts[i]], m.posActive[lefts[j]]
+		if pi != pj {
+			return pi < pj
+		}
+		return lefts[i] < lefts[j]
+	})
+	dropped := 0
+	prev := int32(-1)
+	for _, l := range lefts {
+		if l == prev {
+			continue
+		}
+		prev = l
+		if !m.active[l] {
+			continue
+		}
+		if m.revalidateOne(adj, hinter, int(l)) {
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// AssignedLefts returns the lefts currently assigned to right r. The
+// slice is the matcher's internal list: it is invalidated by any assign
+// or unassign touching r (unassigning lefts[i] swap-removes it, moving
+// the former last element into position i), and must not be modified.
+func (m *Matcher) AssignedLefts(r int) []int32 { return m.rightLefts[r] }
+
+// LogAssignments enables (or disables) the assignment log drained by
+// DrainAssigned. While enabled, every assign — including intermediate
+// moves along augmenting paths — records its left.
+func (m *Matcher) LogAssignments(on bool) {
+	m.logAssigns = on
+	if !on {
+		m.assignLog = m.assignLog[:0]
+	}
+}
+
+// DrainAssigned appends the lefts assigned since the last drain to dst
+// and clears the log. Entries may repeat, and a logged left may have been
+// unassigned again afterwards — callers must re-check Server.
+func (m *Matcher) DrainAssigned(dst []int32) []int32 {
+	dst = append(dst, m.assignLog...)
+	m.assignLog = m.assignLog[:0]
+	return dst
 }
 
 // AugmentAll drives the matching to maximum: it repeatedly attempts an

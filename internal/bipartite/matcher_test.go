@@ -408,3 +408,126 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 		t.Fatal("Verify should detect missing edge")
 	}
 }
+
+// TestInvalidateMatchesRevalidate pins the event-driven invalidation
+// contract: repairing via targeted Invalidate calls on exactly the lefts
+// whose assigned edge disappeared must leave the matcher in the same
+// state as a full Revalidate sweep. Two identically driven matchers run
+// side by side through randomized edge deletions and churn.
+func TestInvalidateMatchesRevalidate(t *testing.T) {
+	const nL, nR, deg, rounds = 160, 40, 3, 60
+	rng := stats.NewRNG(0xeed)
+	adj := newListAdj()
+	caps := make([]int64, nR)
+	for r := range caps {
+		caps[r] = 4
+	}
+	for l := 0; l < nL; l++ {
+		adj.add(l, rng.SampleWithoutReplacement(nR, deg)...)
+	}
+	sweep, event := NewMatcher(caps), NewMatcher(caps)
+	for l := 0; l < nL; l++ {
+		sweep.AddLeft(l)
+		event.AddLeft(l)
+	}
+	sweep.AugmentAll(adj)
+	event.AugmentAll(adj)
+
+	removeEdge := func(l, r int) bool {
+		ns := adj.neighbors[l]
+		for i, x := range ns {
+			if x == r {
+				adj.neighbors[l] = append(ns[:i], ns[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+
+	for round := 0; round < rounds; round++ {
+		// Delete the current edge under a few random assignments (plus an
+		// unassigned edge, which must be a no-op for both paths).
+		var touched []int
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			l := rng.Intn(nL)
+			if !sweep.Active(l) {
+				continue
+			}
+			if r := sweep.Server(l); r != Unassigned {
+				if removeEdge(l, r) {
+					touched = append(touched, l)
+				}
+			} else if ns := adj.neighbors[l]; len(ns) > 0 {
+				removeEdge(l, ns[rng.Intn(len(ns))])
+				touched = append(touched, l)
+			}
+		}
+		// Churn a few lefts identically on both matchers.
+		for i := 0; i < rng.Intn(3); i++ {
+			l := rng.Intn(nL)
+			if sweep.Active(l) {
+				sweep.RemoveLeft(l)
+				event.RemoveLeft(l)
+			} else {
+				sweep.AddLeft(l)
+				event.AddLeft(l)
+			}
+		}
+
+		dropsSweep := sweep.Revalidate(adj)
+		batch := make([]int32, 0, len(touched))
+		for _, l := range touched {
+			batch = append(batch, int32(l))
+		}
+		dropsEvent := event.InvalidateBatch(adj, batch)
+		if dropsSweep != dropsEvent {
+			t.Fatalf("round %d: sweep dropped %d, targeted dropped %d", round, dropsSweep, dropsEvent)
+		}
+		sweep.AugmentAll(adj)
+		event.AugmentAll(adj)
+		for l := 0; l < nL; l++ {
+			if sweep.Server(l) != event.Server(l) {
+				t.Fatalf("round %d: left %d assigned %d (sweep) vs %d (targeted)",
+					round, l, sweep.Server(l), event.Server(l))
+			}
+		}
+		if err := sweep.Verify(adj); err != nil {
+			t.Fatalf("round %d: sweep matcher corrupt: %v", round, err)
+		}
+		if err := event.Verify(adj); err != nil {
+			t.Fatalf("round %d: targeted matcher corrupt: %v", round, err)
+		}
+	}
+}
+
+// TestAssignmentLog checks that LogAssignments records every left that
+// receives a server (including path moves) and that draining resets it.
+func TestAssignmentLog(t *testing.T) {
+	m := NewMatcher([]int64{1, 1})
+	m.LogAssignments(true)
+	adj := newListAdj()
+	adj.add(0, 0, 1)
+	adj.add(1, 0)
+	m.AddLeft(0)
+	m.AugmentAll(adj)
+	m.AddLeft(1) // forces the augmenting path to move left 0
+	m.AugmentAll(adj)
+	log := m.DrainAssigned(nil)
+	seen := map[int32]bool{}
+	for _, l := range log {
+		seen[l] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("assignment log %v missing a left", log)
+	}
+	if got := m.DrainAssigned(nil); len(got) != 0 {
+		t.Fatalf("second drain returned %v, want empty", got)
+	}
+	m.LogAssignments(false)
+	m.RemoveLeft(0)
+	m.AddLeft(0)
+	m.AugmentAll(adj)
+	if got := m.DrainAssigned(nil); len(got) != 0 {
+		t.Fatalf("disabled log returned %v, want empty", got)
+	}
+}

@@ -32,6 +32,17 @@ func entryChunks(e *entry, reqProgress []int32) int32 {
 	return e.frozen
 }
 
+// availEvent records that one or more entries of (stripe, box) froze or
+// expired this round: a previously valid server edge under that key can
+// now decay, so assignments to box for stripe must be re-examined. Events
+// are the substrate of the engine's event-driven matcher invalidation —
+// they name exactly the (stripe, box) keys whose serving power changed,
+// so the engine never has to sweep the full assignment set.
+type availEvent struct {
+	stripe video.StripeID
+	box    int32
+}
+
 // availabilityStore indexes the playback-cache entries that, together with
 // the static allocation, define the server sets B(x) of Section 2.2. The
 // production implementation is indexedAvailability; naiveAvailability is
@@ -56,6 +67,16 @@ type availabilityStore interface {
 	hasFull(st video.StripeID, box int32, full int32) bool
 	// live returns the number of entries currently indexed for st.
 	live(st video.StripeID) int
+	// margin summarizes box's serving credential for st beyond need: ok
+	// reports whether any entry serves (chunks > need, i.e. canServe),
+	// hasLive whether a live request-backed entry does (such an edge
+	// cannot decay while every request keeps progressing), and bestFrozen
+	// the maximum frozen progress among serving frozen entries — the round
+	// budget before a frozen-only edge is overtaken by the requester.
+	margin(st video.StripeID, box int32, need int32, reqProgress []int32) (hasLive bool, bestFrozen int32, ok bool)
+	// drainEvents appends the (stripe, box) freeze/expiry events recorded
+	// since the last drain and clears the log. Keys may repeat.
+	drainEvents(dst []availEvent) []availEvent
 }
 
 // indexedAvailability is the production store: intrusive per-stripe lists
@@ -74,6 +95,11 @@ type indexedAvailability struct {
 	byKey     map[uint64]int32 // (stripe, box) → head of same-key chain
 	ring      [][]int32        // entry ids bucketed by start mod len(ring)
 	reqLinks  [][2]int32       // per request slot: backing entry ids or −1
+
+	// logEvents enables the freeze/expiry log; the engine turns it on for
+	// event-driven invalidation (sweep modes never drain, so it stays off).
+	logEvents bool
+	events    []availEvent
 }
 
 // availKey packs a (stripe, box) pair into one map key.
@@ -215,6 +241,9 @@ func (ix *indexedAvailability) remove(id int32) {
 	if e.req >= 0 {
 		ix.unlinkReq(e.req, id)
 	}
+	if ix.logEvents {
+		ix.events = append(ix.events, availEvent{stripe: e.stripe, box: e.box})
+	}
 	ix.slab[id] = idxEntry{}
 	ix.free = append(ix.free, id)
 }
@@ -232,6 +261,9 @@ func (ix *indexedAvailability) retire(_ video.StripeID, req int32, final int32) 
 		e.frozen = final - e.lag
 		e.req = -1
 		links[i] = -1
+		if ix.logEvents {
+			ix.events = append(ix.events, availEvent{stripe: e.stripe, box: e.box})
+		}
 	}
 }
 
@@ -274,3 +306,29 @@ func (ix *indexedAvailability) hasFull(st video.StripeID, box int32, full int32)
 }
 
 func (ix *indexedAvailability) live(st video.StripeID) int { return int(ix.liveCount[st]) }
+
+func (ix *indexedAvailability) margin(st video.StripeID, box int32, need int32, reqProgress []int32) (hasLive bool, bestFrozen int32, ok bool) {
+	id, found := ix.byKey[availKey(st, box)]
+	if !found {
+		return false, 0, false
+	}
+	for ; id >= 0; id = ix.slab[id].nextKey {
+		e := &ix.slab[id].entry
+		if entryChunks(e, reqProgress) <= need {
+			continue
+		}
+		ok = true
+		if e.req >= 0 {
+			hasLive = true
+		} else if e.frozen > bestFrozen {
+			bestFrozen = e.frozen
+		}
+	}
+	return hasLive, bestFrozen, ok
+}
+
+func (ix *indexedAvailability) drainEvents(dst []availEvent) []availEvent {
+	dst = append(dst, ix.events...)
+	ix.events = ix.events[:0]
+	return dst
+}

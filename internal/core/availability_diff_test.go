@@ -154,6 +154,20 @@ func runDifferential(t *testing.T, name string, mkSys func(t *testing.T, naive b
 	})
 }
 
+// burstGen forwards the inner generator's demands only on burst rounds,
+// so an under-provisioned system stalls, drains, and stalls again.
+type burstGen struct {
+	inner       Generator
+	burstRounds map[int]bool
+}
+
+func (g *burstGen) Next(v *View, round int) []Demand {
+	if !g.burstRounds[round] {
+		return nil
+	}
+	return g.inner.Next(v, round)
+}
+
 // relayedPoorFirst demands videos round-robin, poor boxes before rich —
 // the in-package stand-in for the adversary package's PoorFirst.
 type relayedPoorFirst struct {
@@ -262,6 +276,51 @@ func TestIndexedMatchesNaiveAvailability(t *testing.T) {
 	}
 	runDifferential(t, "obstruction/avoid", underProvisioned,
 		func() Generator { return genAvoidStored{} }, 20)
+
+	// Overload burst, drain, second burst under FailStall: stall rounds
+	// force the event-driven engine into its Revalidate-sweep fallback,
+	// and the first fully matched round afterwards rebuilds every
+	// invalidation certificate — both transitions must stay bit-identical
+	// to the always-sweep reference. The reference here is the *indexed*
+	// store with SweepRevalidation (not the naive store): under stalls the
+	// victim choice among equally maximum matchings depends on server
+	// enumeration order, which differs between the two stores, so only
+	// same-store pairs are exactly comparable in stall regimes (the
+	// naive-store pairs above all run fully matched until failure).
+	overloaded := func(t *testing.T, sweep bool) *System {
+		return buildHomogeneous(t, 33, 12, 1, 4, 10, 1, 0.75, 3.0, func(cfg *Config) {
+			cfg.Failure = FailStall
+			cfg.SweepRevalidation = sweep
+			cfg.TraceRounds = true
+		})
+	}
+	mkBursts := func() Generator {
+		return &burstGen{inner: genAvoidStored{}, burstRounds: map[int]bool{
+			1: true, 2: true, 3: true, 30: true, 31: true,
+		}}
+	}
+	runDifferential(t, "stall/recovery", overloaded, mkBursts, 55)
+
+	// The stall scenario must actually stall and then recover, or the
+	// sweep-mode transitions it is meant to pin never happen.
+	probe := overloaded(t, false)
+	rep, err := probe.Run(mkBursts(), 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stalls == 0 {
+		t.Fatal("stall/recovery scenario produced no stalls")
+	}
+	recovered := false
+	for i := 1; i < len(rep.Trace); i++ {
+		if rep.Trace[i-1].Unmatched > 0 && rep.Trace[i].Unmatched == 0 {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("stall/recovery scenario never exited its stall episode")
+	}
 
 	// Back-to-back viewings exercise frozen-entry self-possession.
 	backToBack := func(t *testing.T, naive bool) *System {

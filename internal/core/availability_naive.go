@@ -87,3 +87,23 @@ func (na *naiveAvailability) hasFull(st video.StripeID, box int32, full int32) b
 }
 
 func (na *naiveAvailability) live(st video.StripeID) int { return len(na.entries[st]) }
+
+func (na *naiveAvailability) margin(st video.StripeID, box int32, need int32, reqProgress []int32) (hasLive bool, bestFrozen int32, ok bool) {
+	for i := range na.entries[st] {
+		e := &na.entries[st][i]
+		if e.box != box || entryChunks(e, reqProgress) <= need {
+			continue
+		}
+		ok = true
+		if e.req >= 0 {
+			hasLive = true
+		} else if e.frozen > bestFrozen {
+			bestFrozen = e.frozen
+		}
+	}
+	return hasLive, bestFrozen, ok
+}
+
+// drainEvents is a no-op: the naive store pairs with the full Revalidate
+// sweep, which needs no targeted notifications.
+func (na *naiveAvailability) drainEvents(dst []availEvent) []availEvent { return dst }

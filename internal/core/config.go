@@ -101,9 +101,16 @@ type Config struct {
 	// Paranoid enables per-round matching verification (tests).
 	Paranoid bool
 	// NaiveAvailability selects the retained linear-scan reference
-	// availability store instead of the indexed one. It exists for the
-	// differential tests and ablations; production runs leave it false.
+	// availability store instead of the indexed one (which also implies
+	// SweepRevalidation — the naive store emits no invalidation events).
+	// It exists for the differential tests and ablations; production runs
+	// leave it false.
 	NaiveAvailability bool
+	// SweepRevalidation forces the full per-round Revalidate sweep over
+	// all assigned requests instead of event-driven targeted invalidation.
+	// The reference path for differential tests and ablations; production
+	// runs leave it false.
+	SweepRevalidation bool
 	// TraceRounds records per-round statistics in the report when true.
 	TraceRounds bool
 }

@@ -69,9 +69,19 @@ func (s *System) Step(gen Generator) (StepResult, error) {
 	s.metrics.demands += int64(res.Demanded)
 	s.metrics.admitted += int64(res.Admitted)
 
-	// Connection matching (Lemma 1).
+	// Connection matching (Lemma 1). Event-driven mode repairs only the
+	// assignments that freeze/expiry events or due margin rechecks have
+	// flagged; the sweep runs under Config.NaiveAvailability and while a
+	// stall episode keeps certificates unreliable (see invalidation.go).
 	adj := adjacency{s}
-	s.matcher.Revalidate(adj)
+	if s.eventDriven && !s.needSweep {
+		s.invalidateTargeted(adj)
+	} else {
+		if s.eventDriven {
+			s.discardInvalidationBacklog()
+		}
+		s.matcher.Revalidate(adj)
+	}
 	unmatched := s.matcher.AugmentAll(adj)
 	res.Matched = s.matcher.MatchedCount()
 	res.Unmatched = len(unmatched)
@@ -100,6 +110,10 @@ func (s *System) Step(gen Generator) (StepResult, error) {
 		if s.matcher.Server(int(slot)) != -1 {
 			s.reqProgress[slot]++
 		}
+	}
+
+	if s.eventDriven {
+		s.refreshAssignmentCertificates(res.Unmatched)
 	}
 
 	s.metrics.observeRound(s, res)
@@ -160,6 +174,7 @@ func (s *System) admit(d Demand) admitCode {
 	s.outstanding[d.Box] = int32(planned)
 	if planned > 0 {
 		s.busy[d.Box] = true
+		s.markBusy(b)
 	} else {
 		// Everything available locally: an instant viewing.
 		s.metrics.completedViewings++

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/allocation"
+	"repro/internal/stats"
+	"repro/internal/video"
+)
+
+// TestIdleIndexMatchesLinearScan pins the intrusive idle-box set against
+// the linear BoxIdle scan it replaced, across every transition that can
+// change idleness: admission (busy), request issuance and retirement,
+// and viewing completion (idle again). A random workload over enough
+// rounds covers all of them, including re-admission of recycled boxes.
+func TestIdleIndexMatchesLinearScan(t *testing.T) {
+	sys := buildHomogeneous(t, 51, 30, 2, 4, 12, 6, 2.5, 1.3, nil)
+	gen := &uniformGen{rng: stats.NewRNG(771), p: 0.45}
+	v := sys.View()
+	check := func(round int) {
+		t.Helper()
+		var want []int
+		for b := 0; b < v.NumBoxes(); b++ {
+			if v.BoxIdle(b) {
+				want = append(want, b)
+			}
+		}
+		got := v.IdleBoxes(nil)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: IdleBoxes has %d boxes, linear scan %d", round, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: IdleBoxes[%d] = %d, linear scan %d (index order broken)",
+					round, i, got[i], want[i])
+			}
+		}
+		if v.NumIdle() != len(want) {
+			t.Fatalf("round %d: NumIdle = %d, want %d", round, v.NumIdle(), len(want))
+		}
+		var visited []int
+		v.VisitIdle(func(b int) bool {
+			visited = append(visited, b)
+			return true
+		})
+		sort.Ints(visited)
+		for i := range visited {
+			if visited[i] != want[i] {
+				t.Fatalf("round %d: VisitIdle saw %v, want %v", round, visited, want)
+			}
+		}
+		if len(want) > 1 {
+			n := 0
+			v.VisitIdle(func(int) bool {
+				n++
+				return n < 2
+			})
+			if n != 2 {
+				t.Fatalf("round %d: VisitIdle early stop visited %d boxes", round, n)
+			}
+		}
+	}
+	check(0)
+	for r := 1; r <= 120; r++ {
+		if _, err := sys.Step(gen); err != nil {
+			t.Fatal(err)
+		}
+		check(r)
+	}
+}
+
+// TestIdleIndexInstantViewing covers the admit path that never marks the
+// box busy: with every stripe self-possessed the viewing completes
+// instantly and the box must remain in the idle set.
+func TestIdleIndexInstantViewing(t *testing.T) {
+	cat := video.MustCatalog(2, 2, 8)
+	full, err := allocation.FullReplication(cat, []int{4, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{Alloc: full, Uploads: []float64{2, 2}, Mu: 2, Paranoid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &scripted{byRound: map[int][]Demand{1: {{Box: 0, Video: 0}}}}
+	if _, err := sys.Run(gen, 2); err != nil {
+		t.Fatal(err)
+	}
+	v := sys.View()
+	if got := v.IdleBoxes(nil); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("IdleBoxes after instant viewing = %v, want [0 1]", got)
+	}
+	if sys.Report().CompletedViewings != 1 {
+		t.Fatal("instant viewing did not complete")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestEventInvalidationMatchesSweepRandomized steps an event-driven
+// system and a SweepRevalidation reference in lockstep under a random
+// FailStall workload aggressive enough to mix fully matched rounds,
+// stall episodes, cache expiry, and frozen-entry decay, comparing the
+// complete observable state every round: step results, busy sets,
+// request progress, and the actual matching. Both systems use the
+// indexed store, so any divergence is the invalidation path's fault.
+func TestEventInvalidationMatchesSweepRandomized(t *testing.T) {
+	mk := func(sweep bool) *System {
+		return buildHomogeneous(t, 41, 18, 1, 4, 9, 2, 0.8, 2.0, func(cfg *Config) {
+			cfg.Failure = FailStall
+			cfg.SweepRevalidation = sweep
+			cfg.TraceRounds = true
+		})
+	}
+	event, sweep := mk(false), mk(true)
+	genE := &uniformGen{rng: stats.NewRNG(977), p: 0.8}
+	genS := &uniformGen{rng: stats.NewRNG(977), p: 0.8}
+	for r := 1; r <= 160; r++ {
+		resE, errE := event.Step(genE)
+		resS, errS := sweep.Step(genS)
+		if errE != nil || errS != nil {
+			t.Fatalf("round %d: errors event=%v sweep=%v", r, errE, errS)
+		}
+		if !reflect.DeepEqual(resE, resS) {
+			t.Fatalf("round %d step results diverge:\nevent: %+v\nsweep: %+v", r, resE, resS)
+		}
+		for b := 0; b < event.n; b++ {
+			if event.busy[b] != sweep.busy[b] {
+				t.Fatalf("round %d: busy[%d] diverges", r, b)
+			}
+		}
+		for _, slot := range event.activeList {
+			if event.reqProgress[slot] != sweep.reqProgress[slot] {
+				t.Fatalf("round %d: progress of slot %d diverges: %d vs %d",
+					r, slot, event.reqProgress[slot], sweep.reqProgress[slot])
+			}
+			if se, ss := event.matcher.Server(int(slot)), sweep.matcher.Server(int(slot)); se != ss {
+				t.Fatalf("round %d: slot %d assigned %d (event) vs %d (sweep)", r, slot, se, ss)
+			}
+		}
+	}
+	repE, repS := event.Report(), sweep.Report()
+	if !reflect.DeepEqual(repE, repS) {
+		t.Fatalf("reports diverge:\nevent: %+v\nsweep: %+v", repE, repS)
+	}
+	if repE.Stalls == 0 {
+		t.Fatal("workload produced no stalls: sweep-fallback transitions untested")
+	}
+}

@@ -56,9 +56,26 @@ type System struct {
 	outstanding []int32 // per viewer box: unfinished requests + pending issuances
 	busy        []bool
 
+	// Intrusive idle-box set, maintained at the busy/idle transitions in
+	// admit and finishOne, so idle-box queries cost O(idle), never O(n).
+	// idlePos[b] is b's index in idleList, or −1 while busy.
+	idleList []int32
+	idlePos  []int32
+
 	// pendingRing holds scheduled future requests bucketed by due round
 	// (round mod len), so issuing costs O(due this round), not O(pending).
 	pendingRing [][]issuance
+
+	// Event-driven invalidation state (see invalidation.go). eventDriven
+	// is false under Config.NaiveAvailability, which keeps the full
+	// Revalidate sweep; needSweep forces sweeps after stall rounds until
+	// certificates can be rebuilt.
+	eventDriven bool
+	needSweep   bool
+	recheckRing [][]int32
+	availEvents []availEvent
+	assignedLog []int32
+	candScratch []int32
 
 	metrics runMetrics
 }
@@ -85,13 +102,42 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.NaiveAvailability {
 		s.avail = newNaiveAvailability(cat.NumStripes(), cat.T)
 	} else {
-		s.avail = newIndexedAvailability(cat.NumStripes(), cat.T)
+		ix := newIndexedAvailability(cat.NumStripes(), cat.T)
+		if !cfg.SweepRevalidation {
+			ix.logEvents = true
+			s.eventDriven = true
+			s.recheckRing = make([][]int32, cat.T+2)
+			s.matcher.LogAssignments(true)
+		}
+		s.avail = ix
+	}
+	s.idleList = make([]int32, n)
+	s.idlePos = make([]int32, n)
+	for b := range s.idleList {
+		s.idleList[b] = int32(b)
+		s.idlePos[b] = int32(b)
 	}
 	for _, c := range caps {
 		s.totalSlots += c
 	}
 	s.metrics.init(n)
 	return s, nil
+}
+
+// markBusy removes box b from the idle set (swap-remove, O(1)).
+func (s *System) markBusy(b int32) {
+	pos := s.idlePos[b]
+	last := s.idleList[len(s.idleList)-1]
+	s.idleList[pos] = last
+	s.idlePos[last] = pos
+	s.idleList = s.idleList[:len(s.idleList)-1]
+	s.idlePos[b] = -1
+}
+
+// markIdle returns box b to the idle set.
+func (s *System) markIdle(b int32) {
+	s.idlePos[b] = int32(len(s.idleList))
+	s.idleList = append(s.idleList, b)
 }
 
 // Round returns the last simulated round. Rounds are 1-based — a demand
@@ -189,6 +235,7 @@ func (s *System) finishOne(viewer int32) {
 	s.outstanding[viewer]--
 	if s.outstanding[viewer] == 0 && s.busy[viewer] {
 		s.busy[viewer] = false
+		s.markIdle(viewer)
 		s.metrics.completedViewings++
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/video"
 )
 
@@ -51,15 +53,32 @@ func (v *View) Replicas(st video.StripeID) int { return v.s.cfg.Alloc.Replicas(s
 // The returned slice must not be modified.
 func (v *View) StripeHolders(st video.StripeID) []int32 { return v.s.cfg.Alloc.ByStripe[st] }
 
-// IdleBoxes appends the indices of all idle boxes to dst and returns it.
+// IdleBoxes appends the indices of all idle boxes to dst in ascending
+// order and returns it. Cost is O(idle·log idle) via the system's idle
+// index — it never scans the full population. Callers that can accept
+// arbitrary order (or want to stop early) should use VisitIdle instead.
 func (v *View) IdleBoxes(dst []int) []int {
-	for b := 0; b < v.s.n; b++ {
-		if v.BoxIdle(b) {
-			dst = append(dst, b)
-		}
+	start := len(dst)
+	for _, b := range v.s.idleList {
+		dst = append(dst, int(b))
 	}
+	sort.Ints(dst[start:])
 	return dst
 }
+
+// VisitIdle calls fn for every idle box, stopping early if fn returns
+// false. Iteration order is arbitrary (the idle index's internal order)
+// but deterministic for a given demand history; cost is O(visited).
+func (v *View) VisitIdle(fn func(b int) bool) {
+	for _, b := range v.s.idleList {
+		if !fn(int(b)) {
+			return
+		}
+	}
+}
+
+// NumIdle returns the number of idle boxes in O(1).
+func (v *View) NumIdle() int { return len(v.s.idleList) }
 
 // ActiveRequests returns the number of in-flight stripe requests.
 func (v *View) ActiveRequests() int { return v.s.activeReqs }

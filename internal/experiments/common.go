@@ -9,6 +9,24 @@ import (
 	"repro/internal/video"
 )
 
+// mixSeed derives a trial seed by hashing the master seed with the trial
+// coordinates through a splitmix64 finalizer per word. Linear blends like
+// seed + i·p + c collide whenever nearby coordinate pairs trade off
+// against each other (e.g. (i, c) vs (i, c+p)); hashing makes every
+// coordinate tuple an independent stream.
+func mixSeed(seed uint64, words ...uint64) uint64 {
+	h := seed
+	for _, w := range words {
+		h += 0x9e3779b97f4a7c15 ^ w
+		h ^= h >> 30
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 27
+		h *= 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
 // homParams describes a homogeneous simulation configuration.
 type homParams struct {
 	n, d, c, T int
@@ -61,9 +79,9 @@ type namedGen struct {
 func attackSuite() []namedGen {
 	return []namedGen{
 		{"flash", func(uint64) core.Generator { return &adversary.FlashCrowd{Target: 0, Rotate: true} }},
-		{"distinct", func(uint64) core.Generator { return adversary.DistinctVideos{} }},
+		{"distinct", func(uint64) core.Generator { return &adversary.DistinctVideos{} }},
 		{"weakest", func(uint64) core.Generator { return &adversary.WeakestVideos{} }},
-		{"avoid", func(uint64) core.Generator { return adversary.AvoidPossession{} }},
+		{"avoid", func(uint64) core.Generator { return &adversary.AvoidPossession{} }},
 		{"churn", func(uint64) core.Generator { return &adversary.Churn{Period: 2, WaveSize: 8} }},
 		{"zipf", func(seed uint64) core.Generator {
 			return &adversary.Zipf{RNG: stats.NewRNG(seed ^ 0xa5c3), P: 0.5, S: 0.9}

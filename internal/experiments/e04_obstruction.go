@@ -53,12 +53,16 @@ func buildFixedCatalog(seed uint64, n, m, c, T, k int, u, mu float64, tweak func
 }
 
 func runE4(o Options) Result {
-	n := pick(o, 48, 64)
+	// Full mode grew 4× over the seed population now that round cost
+	// tracks live work; the attack suite's per-box generators (e.g.
+	// AvoidPossession scans every idle box against the catalog) keep n
+	// modest here — the large-n regime is E15's job.
+	n := pick(o, 48, 256)
 	m := n / 2
 	c, T := 4, 20
 	u, mu := 1.1, 1.2
 	ks := pick(o, []int{1, 2, 4}, []int{1, 2, 3, 4, 6, 8})
-	trials := pick(o, 6, 16)
+	trials := pick(o, 6, 12)
 	rounds := pick(o, 60, 80)
 	suite := attackSuite()
 
@@ -71,7 +75,7 @@ func runE4(o Options) Result {
 	hp := analysis.HomogeneousParams{N: n, U: u, D: (m*4 + n - 1) / n, Mu: mu}
 	for _, k := range ks {
 		defeated, err := parallelCount(o.workers(), trials, func(i int) (bool, error) {
-			seed := o.Seed + uint64(i)*104729 + uint64(k)
+			seed := mixSeed(o.Seed, uint64(i), uint64(k))
 			for _, g := range suite {
 				sys, err := buildFixedCatalog(seed, n, m, c, T, k, u, mu, nil)
 				if err != nil {

@@ -20,7 +20,14 @@ func init() {
 }
 
 func runE5(o Options) Result {
-	n := pick(o, 64, 64)
+	// Full mode grew 16× over the seed population. The ceiling here is
+	// genuine live work, not bookkeeping: a µ=3 crowd absorbs the whole
+	// population within ~8 rounds, so live requests peak at n·c (70k at
+	// n=1024, c=68) at ~80% slot utilization, where augmenting paths get
+	// long — wall-clock scales with that product however output-sensitive
+	// the round loop is. The 10⁵–10⁶ population regime is E15's job,
+	// whose arrival rate (and hence live work) is fixed independent of n.
+	n := pick(o, 64, 1024)
 	d, T := 2, 25
 	u, mu := 1.25, 3.0
 	// Theory's sufficient condition: c > (2µ²−1)/(u−1) = 68. Empirically
@@ -28,7 +35,7 @@ func runE5(o Options) Result {
 	// check is failure-rate decreasing in c and zero at the theory bound.
 	cs := pick(o, []int{2, 4, 12}, []int{2, 3, 4, 6, 8, 12, 16, 24, 48, 68})
 	k := 2
-	trials := pick(o, 4, 10)
+	trials := pick(o, 4, 6)
 	rounds := pick(o, 80, 100)
 
 	fig := report.NewFigure("E5: flash-crowd failure rate vs stripe count", "c", "P(failure)")
@@ -41,7 +48,7 @@ func runE5(o Options) Result {
 		var mu2 sync.Mutex
 		maxSwarm := 0
 		failures, err := parallelCount(o.workers(), trials, func(i int) (bool, error) {
-			seed := o.Seed + uint64(i)*15485863 + uint64(c)
+			seed := mixSeed(o.Seed, uint64(i), uint64(c))
 			sys, _, err := buildHom(seed, p, k, nil)
 			if err != nil {
 				return false, err

@@ -67,7 +67,7 @@ func runE10(o Options) Result {
 			tbl.AddRow(report.Cell(m), "", "config error: "+err.Error(), "")
 			continue
 		}
-		rep, err := sys.Run(adversary.AvoidPossession{}, rounds)
+		rep, err := sys.Run(&adversary.AvoidPossession{}, rounds)
 		if err != nil {
 			tbl.AddRow(report.Cell(m), "", "run error: "+err.Error(), "")
 			continue

@@ -68,7 +68,7 @@ func runE14(o Options) Result {
 			gens := []core.Generator{
 				&adversary.FlashCrowd{Target: 0, Rotate: true},
 				&adversary.WeakestVideos{},
-				adversary.DistinctVideos{},
+				&adversary.DistinctVideos{},
 			}
 			for _, gen := range gens {
 				sys, err := buildFixedCatalog(seed, n, m, c, T, k, u, mu, func(cfg *core.Config) {

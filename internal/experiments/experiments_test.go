@@ -9,7 +9,7 @@ func quickOpts() Options { return Options{Seed: 42, Quick: true} }
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "T1"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "T1"}
 	if len(all) < len(want) {
 		t.Fatalf("registry has %d experiments, want at least %d", len(all), len(want))
 	}
@@ -240,6 +240,28 @@ func TestE14AuditMarginGrows(t *testing.T) {
 	}
 	if defeat.Y[defeat.Len()-1] > defeat.Y[0] {
 		t.Errorf("defeat rate grew with k: %v", defeat.Y)
+	}
+}
+
+func TestE15AllPopulationsServed(t *testing.T) {
+	res := runQuick(t, "E15")
+	tbl := res.Tables[0]
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("quick E15 should sweep 3 populations, got %d rows", len(tbl.Rows))
+	}
+	// Every population must serve the bounded workload without stalls
+	// (last column) — the sweep measures cost, not feasibility.
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "0" {
+			t.Errorf("population n=%s stalled: %v", row[0], row)
+		}
+	}
+	// Wall-clock µs/round is machine-dependent; only check it was recorded.
+	series := res.Figures[0].Series[0]
+	for i := 0; i < series.Len(); i++ {
+		if series.Y[i] <= 0 {
+			t.Errorf("non-positive round cost at n=%v", series.X[i])
+		}
 	}
 }
 

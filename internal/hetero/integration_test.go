@@ -47,6 +47,7 @@ func buildRelayed(t *testing.T, seed uint64, n int, richFrac, uRich, uPoor, uSta
 type poorFirst struct {
 	uStar float64
 	next  video.ID
+	idle  []int // per-round scratch: one IdleBoxes pass per Next
 }
 
 func (g *poorFirst) Next(v *core.View, round int) []core.Demand {
@@ -63,14 +64,15 @@ func (g *poorFirst) Next(v *core.View, round int) []core.Demand {
 		}
 		return false
 	}
-	for _, b := range v.IdleBoxes(nil) {
+	g.idle = v.IdleBoxes(g.idle[:0])
+	for _, b := range g.idle {
 		if v.Upload(b) < g.uStar {
 			if !emit(b) {
 				return out
 			}
 		}
 	}
-	for _, b := range v.IdleBoxes(nil) {
+	for _, b := range g.idle {
 		if v.Upload(b) >= g.uStar {
 			if !emit(b) {
 				return out
@@ -208,14 +210,16 @@ func TestRelayedZipfWorkload(t *testing.T) {
 // zipfLike is a minimal random workload local to this test (the full one
 // lives in package adversary; duplicating three lines avoids a cycle).
 type zipfLike struct {
-	rng *stats.RNG
-	p   float64
+	rng  *stats.RNG
+	p    float64
+	idle []int // per-round scratch, reused across Next calls
 }
 
 func (g *zipfLike) Next(v *core.View, _ int) []core.Demand {
 	var out []core.Demand
 	m := v.Catalog().M
-	for _, b := range v.IdleBoxes(nil) {
+	g.idle = v.IdleBoxes(g.idle[:0])
+	for _, b := range g.idle {
 		if !g.rng.Bool(g.p) {
 			continue
 		}

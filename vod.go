@@ -286,10 +286,10 @@ func NewFlashCrowd(target VideoID) Generator {
 }
 
 // NewAvoidPossession returns the Section 1.3 impossibility adversary.
-func NewAvoidPossession() Generator { return adversary.AvoidPossession{} }
+func NewAvoidPossession() Generator { return &adversary.AvoidPossession{} }
 
 // NewDistinctVideos returns the maximal-sourcing-load adversary.
-func NewDistinctVideos() Generator { return adversary.DistinctVideos{} }
+func NewDistinctVideos() Generator { return &adversary.DistinctVideos{} }
 
 // NewPoorFirst returns the relay-stressing generator: boxes below uStar
 // demand before rich ones.
