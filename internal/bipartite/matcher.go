@@ -8,10 +8,14 @@
 // scratch (ablated in experiment E11). Per-round cost tracks live work:
 // active lefts are kept in a dense list (not rediscovered by scanning every
 // slot ever allocated), and BFS scratch is reset by epoch stamping in O(1)
-// rather than clearing peak-sized arrays. When augmentation stalls, the
-// alternating-reachability set from the unmatched requests is exactly a
-// Hall violator — the paper's *obstruction* certificate (Lemma 1): a set X
-// of requests with total box capacity U_B(X) < |X|/c.
+// rather than clearing peak-sized arrays. Augmentation itself runs in
+// Hopcroft–Karp-style blocking-flow phases over the whole dirty frontier
+// (one layered BFS, then vertex-disjoint shortest-path DFS augmentations),
+// with the per-root reference path retained behind SerialAugment. When
+// augmentation stalls, the alternating-reachability set from the unmatched
+// requests is exactly a Hall violator — the paper's *obstruction*
+// certificate (Lemma 1): a set X of requests with total box capacity
+// U_B(X) < |X|/c.
 package bipartite
 
 import (
@@ -21,6 +25,12 @@ import (
 
 // Unassigned marks a left node with no current server.
 const Unassigned = -1
+
+// maxBatchDepth bounds the augmenting-path length the batch DFS will
+// recurse through; longer (pathological capacity-1 cascade) phases fall
+// back to the iterative serial reference. ~4k frames stays well under a
+// megabyte of goroutine stack.
+const maxBatchDepth = 4096
 
 // noStable marks an empty stableTo cache slot (distinct from any right).
 const noStable = -2
@@ -50,10 +60,34 @@ type Hinted interface {
 	StableEdge(left, right int) bool
 }
 
+// rightRec packs every per-right field a search probes into one record:
+// capacity, load, the epoch-stamped visit/level/done marks, and the BFS
+// parent pointer. A box probe during augmentation used to touch four
+// parallel population-sized slices (caps, load, visitR, parentLeft), each
+// a separate cache line; one 32-byte record halves the lines touched and
+// keeps them adjacent for the batch BFS's heavy right-node traffic.
+type rightRec struct {
+	cap  int64
+	load int64
+	// visit compares against epoch: the search that last reached this
+	// right. level is the BFS layer it was reached at (valid when visit
+	// is current); done stamps rights exhausted by the current DFS phase.
+	visit      uint32
+	done       uint32
+	level      int32
+	parentLeft int32 // the left that discovered it (serial BFS)
+}
+
 // Matcher holds the incremental assignment state.
 type Matcher struct {
-	caps []int64 // capacity per right node, in slots
-	load []int64 // current load per right node
+	// SerialAugment selects the retained per-root augmentation reference
+	// path instead of blocking-flow batch phases. The two produce equal
+	// matching cardinality (both drive the matching to maximum) but may
+	// pick different maximum matchings, so differential tests pin
+	// cardinality + Verify feasibility, not bit-identity.
+	SerialAugment bool
+
+	rights []rightRec // per right node: capacity, load, search marks
 
 	assigned []int32 // left -> right, or Unassigned
 	active   []bool  // left liveness
@@ -69,13 +103,15 @@ type Matcher struct {
 
 	// BFS scratch: visit stamps compare against epoch, making the
 	// per-search reset O(1) instead of O(slots + boxes).
-	epoch      uint32
-	visitL     []uint32
-	visitR     []uint32
-	parentLeft []int32 // for right r, the left that discovered it
-	queue      []int32
-	reachedR   []int32 // rights first visited in the current search
-	todo       []int32 // AugmentAll worklist scratch
+	epoch    uint32
+	visitL   []uint32
+	levelL   []int32  // BFS layer of each left (valid when visitL current)
+	usedL    []uint32 // lefts consumed by the current DFS phase
+	maxLevel int32    // layer at which the current phase found free capacity
+	queue    []int32
+	reachedR []int32 // rights first visited in the current search
+	todo     []int32 // AugmentAll worklist scratch
+	victims  []int   // SetCapacity eviction scratch, reused across calls
 
 	// Lefts that may need (re-)augmentation: newly added or unassigned
 	// since the last AugmentAll. Keeping them explicit makes AugmentAll
@@ -111,23 +147,24 @@ func (m *Matcher) markDirty(l int) {
 // capacities (len(caps) == numRight).
 func NewMatcher(caps []int64) *Matcher {
 	m := &Matcher{
-		caps:       append([]int64(nil), caps...),
-		load:       make([]int64, len(caps)),
+		rights:     make([]rightRec, len(caps)),
 		rightLefts: make([][]int32, len(caps)),
-		visitR:     make([]uint32, len(caps)),
-		parentLeft: make([]int32, len(caps)),
+	}
+	for r, c := range caps {
+		m.rights[r].cap = c
+		m.rights[r].parentLeft = -1
 	}
 	return m
 }
 
 // NumRight returns the number of right nodes.
-func (m *Matcher) NumRight() int { return len(m.caps) }
+func (m *Matcher) NumRight() int { return len(m.rights) }
 
 // Capacity returns the capacity of right node r.
-func (m *Matcher) Capacity(r int) int64 { return m.caps[r] }
+func (m *Matcher) Capacity(r int) int64 { return m.rights[r].cap }
 
 // Load returns the current load of right node r.
-func (m *Matcher) Load(r int) int64 { return m.load[r] }
+func (m *Matcher) Load(r int) int64 { return m.rights[r].load }
 
 // MatchedCount returns the number of currently matched left nodes.
 func (m *Matcher) MatchedCount() int { return m.matchedCount }
@@ -137,20 +174,26 @@ func (m *Matcher) NumActive() int { return len(m.activeLefts) }
 
 // SetCapacity adjusts the capacity of right node r. Lowering below the
 // current load unassigns arbitrary assigned lefts until feasible; the
-// victims are returned so the caller can retry them.
+// victims are returned so the caller can retry them. The returned slice
+// is a scratch buffer owned by the matcher (the DrainAssigned
+// convention): it is valid until the next SetCapacity call and must not
+// be retained or modified.
 func (m *Matcher) SetCapacity(r int, c int64) []int {
 	if c < 0 {
 		panic("bipartite: negative capacity")
 	}
-	m.caps[r] = c
-	var victims []int
-	for m.load[r] > c {
+	m.rights[r].cap = c
+	m.victims = m.victims[:0]
+	for m.rights[r].load > c {
 		lefts := m.rightLefts[r]
 		victim := lefts[len(lefts)-1]
 		m.unassign(int(victim))
-		victims = append(victims, int(victim))
+		m.victims = append(m.victims, int(victim))
 	}
-	return victims
+	if len(m.victims) == 0 {
+		return nil
+	}
+	return m.victims
 }
 
 // EnsureLeft grows internal storage so left IDs up to n-1 are addressable.
@@ -161,6 +204,8 @@ func (m *Matcher) EnsureLeft(n int) {
 		m.posInRight = append(m.posInRight, -1)
 		m.posActive = append(m.posActive, -1)
 		m.visitL = append(m.visitL, 0)
+		m.levelL = append(m.levelL, 0)
+		m.usedL = append(m.usedL, 0)
 		m.inDirty = append(m.inDirty, false)
 		m.stableTo = append(m.stableTo, noStable)
 	}
@@ -216,7 +261,7 @@ func (m *Matcher) assign(l, r int) {
 	m.assigned[l] = int32(r)
 	m.posInRight[l] = int32(len(m.rightLefts[r]))
 	m.rightLefts[r] = append(m.rightLefts[r], int32(l))
-	m.load[r]++
+	m.rights[r].load++
 	m.matchedCount++
 	if m.logAssigns {
 		m.assignLog = append(m.assignLog, int32(l))
@@ -231,7 +276,7 @@ func (m *Matcher) unassign(l int) {
 	lefts[pos] = last
 	m.posInRight[last] = pos
 	m.rightLefts[r] = lefts[:len(lefts)-1]
-	m.load[r]--
+	m.rights[r].load--
 	m.assigned[l] = Unassigned
 	m.posInRight[l] = -1
 	m.matchedCount--
@@ -352,14 +397,14 @@ func (m *Matcher) DrainAssigned(dst []int32) []int32 {
 	return dst
 }
 
-// AugmentAll drives the matching to maximum: it repeatedly attempts an
-// alternating augmenting path from every unmatched active left until a
-// full pass makes no progress (at which point no augmenting path exists
-// from the implicit super-source, so the matching is maximum). It returns
-// the remaining unmatched lefts in ascending order; a non-empty result
-// certifies a Lemma 1 obstruction, extractable via HallViolator.
+// AugmentAll drives the matching to maximum over the dirty frontier: the
+// lefts that were added or unassigned since the last call. The default
+// path runs blocking-flow batch phases (augmentBatch); SerialAugment
+// selects the retained per-root reference. Both end with no augmenting
+// path from the implicit super-source, so the matching is maximum. It
+// returns the remaining unmatched lefts in ascending order; a non-empty
+// result certifies a Lemma 1 obstruction, extractable via HallViolator.
 func (m *Matcher) AugmentAll(adj Adjacency) []int {
-	hinter, hinted := adj.(Hinted)
 	todo := m.todo[:0]
 	for _, l := range m.dirty {
 		m.inDirty[l] = false
@@ -368,6 +413,31 @@ func (m *Matcher) AugmentAll(adj Adjacency) []int {
 		}
 	}
 	m.dirty = m.dirty[:0]
+	if m.SerialAugment {
+		todo = m.augmentSerial(adj, todo)
+	} else {
+		todo = m.augmentBatch(adj, todo)
+	}
+	if len(todo) == 0 {
+		m.todo = todo
+		return nil
+	}
+	unmatched := make([]int, len(todo))
+	for i, l := range todo {
+		unmatched[i] = int(l)
+		// Still unmatched: must be retried on the next call.
+		m.markDirty(int(l))
+	}
+	m.todo = todo[:0]
+	sort.Ints(unmatched)
+	return unmatched
+}
+
+// augmentSerial is the reference augmentation path: one alternating BFS
+// per unmatched root, repeated until a full pass makes no progress. It
+// returns the lefts that stayed unmatched (reusing todo's storage).
+func (m *Matcher) augmentSerial(adj Adjacency, todo []int32) []int32 {
+	hinter, hinted := adj.(Hinted)
 	for len(todo) > 0 {
 		progressed := false
 		rest := todo[:0] // safe: writes trail reads
@@ -387,19 +457,196 @@ func (m *Matcher) AugmentAll(adj Adjacency) []int {
 			break
 		}
 	}
-	if len(todo) == 0 {
-		m.todo = todo
-		return nil
+	return todo
+}
+
+// augmentBatch drives the whole frontier to maximum in blocking-flow
+// phases (Hopcroft–Karp on the b-matching residual graph): each phase
+// runs one layered BFS from every still-unmatched frontier left toward
+// free right capacity, then augments along vertex-disjoint shortest
+// paths with DFS restricted to layer edges, until no free right is
+// reachable at all. Every phase multiplies the shortest augmenting-path
+// length, so a crowd of k new requests costs O(√k) phases instead of k
+// root-by-root searches — the difference between one BFS wave and
+// thousands of long walks at high utilization. Returns the lefts that
+// stayed unmatched (reusing todo's storage).
+func (m *Matcher) augmentBatch(adj Adjacency, todo []int32) []int32 {
+	hinter, hinted := adj.(Hinted)
+	// Phase 0: length-1 paths. Most arrivals have a direct server with a
+	// free slot; resolve them with the same early-exit probe the serial
+	// path's first BFS step uses, so the layered machinery below — which
+	// must label *every* server of a frontier left — only ever runs for
+	// lefts that genuinely need an alternating cascade.
+	rest := todo[:0]
+	for _, l := range todo {
+		if hinted && hinter.ServerCountHint(int(l)) == 0 {
+			rest = append(rest, l)
+			continue
+		}
+		assigned := false
+		adj.VisitServers(int(l), func(r int) bool {
+			if m.rights[r].load < m.rights[r].cap {
+				m.assign(int(l), r)
+				assigned = true
+				return false
+			}
+			return true
+		})
+		if !assigned {
+			rest = append(rest, l)
+		}
 	}
-	unmatched := make([]int, len(todo))
-	for i, l := range todo {
-		unmatched[i] = int(l)
-		// Still unmatched: must be retried on the next call.
-		m.markDirty(int(l))
+	todo = rest
+	for len(todo) > 0 {
+		if !m.bfsLayer(adj, todo, hinter, hinted) {
+			break // no free right reachable: the matching is maximum
+		}
+		if m.maxLevel > maxBatchDepth {
+			// Pathological cascade: the phase DFS recurses once per path
+			// hop, so an extreme shortest-path length would translate into
+			// goroutine stack depth. The iterative per-root reference
+			// (BFS queue + applyPath loop) handles arbitrary lengths in
+			// O(1) stack; it is also maximum, so switching mid-call keeps
+			// the cardinality contract.
+			return m.augmentSerial(adj, todo)
+		}
+		progressed := false
+		for _, l := range todo {
+			if m.assigned[l] != Unassigned || m.visitL[l] != m.epoch {
+				continue
+			}
+			if m.usedL[l] == m.epoch {
+				continue
+			}
+			m.usedL[l] = m.epoch
+			if m.dfsAugment(adj, l, 0) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // defensive: a reachable free right always yields ≥1 path
+		}
+		// Compact the frontier so later phases scan only open roots.
+		rest := todo[:0]
+		for _, l := range todo {
+			if m.assigned[l] == Unassigned {
+				rest = append(rest, l)
+			}
+		}
+		todo = rest
 	}
-	m.todo = todo[:0]
-	sort.Ints(unmatched)
-	return unmatched
+	return todo
+}
+
+// bfsLayer runs one phase's layered BFS: every unmatched frontier left
+// sits at layer 0; full rights reached at layer d expand to their
+// assigned lefts at layer d+1; the wave stops at the first layer where a
+// right with spare capacity appears (all shortest augmenting paths end
+// there), recorded in maxLevel. Reports whether any free right was
+// reached.
+func (m *Matcher) bfsLayer(adj Adjacency, frontier []int32, hinter Hinted, hinted bool) bool {
+	m.beginSearch()
+	q := m.queue[:0]
+	for _, l := range frontier {
+		if m.assigned[l] != Unassigned || m.visitL[l] == m.epoch {
+			continue
+		}
+		if hinted && hinter.ServerCountHint(int(l)) == 0 {
+			continue
+		}
+		m.visitL[l] = m.epoch
+		m.levelL[l] = 0
+		q = append(q, l)
+	}
+	found := false
+	for layerStart, layerEnd := 0, len(q); layerStart < layerEnd; layerStart, layerEnd = layerEnd, len(q) {
+		for i := layerStart; i < layerEnd; i++ {
+			l := q[i]
+			d := m.levelL[l]
+			adj.VisitServers(int(l), func(r int) bool {
+				rr := &m.rights[r]
+				if rr.visit == m.epoch {
+					return true
+				}
+				rr.visit = m.epoch
+				rr.level = d
+				if rr.load < rr.cap {
+					// Free capacity at this layer: finish labeling the
+					// layer (other shortest paths end here too) but stop
+					// expanding deeper.
+					found = true
+					m.maxLevel = d
+					return true
+				}
+				if !found {
+					for _, l2 := range m.rightLefts[r] {
+						if m.visitL[l2] != m.epoch {
+							m.visitL[l2] = m.epoch
+							m.levelL[l2] = d + 1
+							q = append(q, l2)
+						}
+					}
+				}
+				return true
+			})
+		}
+		if found {
+			break
+		}
+	}
+	m.queue = q
+	return found
+}
+
+// dfsAugment extends a shortest augmenting path from left l at layer d
+// along layer edges only: usable rights carry this phase's stamp at
+// exactly layer d, and full rights recurse into their assigned lefts at
+// layer d+1. On success the whole path below l has been applied and l is
+// assigned (root) or moved (interior left) onto a layer-d right,
+// momentarily vacated by its rerouted occupant, so loads are restored
+// everywhere except the free slot consumed at layer maxLevel. Exhausted
+// rights are stamped done and dead for the rest of the phase; each left
+// is consumed at most once (vertex-disjoint paths), which is what makes
+// the phase a blocking flow.
+func (m *Matcher) dfsAugment(adj Adjacency, l int32, d int32) bool {
+	ok := false
+	adj.VisitServers(int(l), func(r int) bool {
+		rr := &m.rights[r]
+		if rr.visit != m.epoch || rr.level != d || rr.done == m.epoch {
+			return true
+		}
+		if rr.load < rr.cap {
+			if m.assigned[l] == Unassigned {
+				m.assign(int(l), r)
+			} else {
+				m.move(int(l), r)
+			}
+			ok = true
+			return false
+		}
+		if d < m.maxLevel {
+			lefts := m.rightLefts[r]
+			for _, l2 := range lefts {
+				if m.visitL[l2] != m.epoch || m.levelL[l2] != d+1 || m.usedL[l2] == m.epoch {
+					continue
+				}
+				m.usedL[l2] = m.epoch
+				if m.dfsAugment(adj, l2, d+1) {
+					// l2 vacated one of r's slots; take it.
+					if m.assigned[l] == Unassigned {
+						m.assign(int(l), r)
+					} else {
+						m.move(int(l), r)
+					}
+					ok = true
+					return false
+				}
+			}
+		}
+		rr.done = m.epoch
+		return true
+	})
+	return ok
 }
 
 // augment searches one alternating BFS tree rooted at unmatched left root
@@ -415,12 +662,13 @@ func (m *Matcher) augment(adj Adjacency, root int) bool {
 		l := m.queue[head]
 		found := -1
 		adj.VisitServers(int(l), func(r int) bool {
-			if m.visitR[r] == m.epoch {
+			rr := &m.rights[r]
+			if rr.visit == m.epoch {
 				return true
 			}
-			m.visitR[r] = m.epoch
-			m.parentLeft[r] = l
-			if m.load[r] < m.caps[r] {
+			rr.visit = m.epoch
+			rr.parentLeft = l
+			if rr.load < rr.cap {
 				found = r
 				return false
 			}
@@ -445,7 +693,7 @@ func (m *Matcher) augment(adj Adjacency, root int) bool {
 func (m *Matcher) applyPath(freeRight int) {
 	r := freeRight
 	for {
-		l := int(m.parentLeft[r])
+		l := int(m.rights[r].parentLeft)
 		if m.assigned[l] == Unassigned {
 			m.assign(l, r)
 			return
@@ -464,9 +712,11 @@ func (m *Matcher) beginSearch() {
 	if m.epoch == 0 {
 		for i := range m.visitL {
 			m.visitL[i] = 0
+			m.usedL[i] = 0
 		}
-		for i := range m.visitR {
-			m.visitR[i] = 0
+		for i := range m.rights {
+			m.rights[i].visit = 0
+			m.rights[i].done = 0
 		}
 		m.epoch = 1
 	}
@@ -501,10 +751,10 @@ func (m *Matcher) HallViolator(adj Adjacency) *Violator {
 	for head := 0; head < len(m.queue); head++ {
 		l := m.queue[head]
 		adj.VisitServers(int(l), func(r int) bool {
-			if m.visitR[r] == m.epoch {
+			if m.rights[r].visit == m.epoch {
 				return true
 			}
-			m.visitR[r] = m.epoch
+			m.rights[r].visit = m.epoch
 			m.reachedR = append(m.reachedR, int32(r))
 			for _, l2 := range m.rightLefts[r] {
 				if m.visitL[l2] != m.epoch {
@@ -525,7 +775,7 @@ func (m *Matcher) HallViolator(adj Adjacency) *Violator {
 	sort.Ints(v.Lefts)
 	for i, r := range m.reachedR {
 		v.Rights[i] = int(r)
-		v.Slots += m.caps[r]
+		v.Slots += m.rights[r].cap
 	}
 	sort.Ints(v.Rights)
 	return v
@@ -536,7 +786,7 @@ func (m *Matcher) HallViolator(adj Adjacency) *Violator {
 // Tests and the simulator's paranoid mode call it.
 func (m *Matcher) Verify(adj Adjacency) error {
 	var matched int
-	loads := make([]int64, len(m.caps))
+	loads := make([]int64, len(m.rights))
 	activeSeen := 0
 	for l := range m.assigned {
 		if !m.active[l] {
@@ -576,12 +826,12 @@ func (m *Matcher) Verify(adj Adjacency) error {
 	if matched != m.matchedCount {
 		return fmt.Errorf("matchedCount=%d, actual=%d", m.matchedCount, matched)
 	}
-	for r := range m.caps {
-		if loads[r] != m.load[r] {
-			return fmt.Errorf("right %d load=%d, actual=%d", r, m.load[r], loads[r])
+	for r := range m.rights {
+		if loads[r] != m.rights[r].load {
+			return fmt.Errorf("right %d load=%d, actual=%d", r, m.rights[r].load, loads[r])
 		}
-		if loads[r] > m.caps[r] {
-			return fmt.Errorf("right %d over capacity: %d > %d", r, loads[r], m.caps[r])
+		if loads[r] > m.rights[r].cap {
+			return fmt.Errorf("right %d over capacity: %d > %d", r, loads[r], m.rights[r].cap)
 		}
 		if int64(len(m.rightLefts[r])) != loads[r] {
 			return fmt.Errorf("right %d list length %d != load %d", r, len(m.rightLefts[r]), loads[r])

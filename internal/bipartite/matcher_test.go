@@ -500,6 +500,212 @@ func TestInvalidateMatchesRevalidate(t *testing.T) {
 	}
 }
 
+// TestBatchEqualsSerialLockstep is the blocking-flow differential: a
+// batch-phase matcher and a SerialAugment reference are driven through
+// identical randomized rounds of arrivals, departures, edge invalidation
+// (adjacency mutation + Revalidate), and capacity changes. Batch phases
+// may pick a different maximum matching than root-by-root augmentation,
+// so the pin is cardinality + feasibility, not bit-identity: after every
+// round both matchers must (a) match exactly the same number of lefts,
+// (b) equal the max-flow optimum on the live instance, and (c) pass
+// Verify. See AugmentAll's contract.
+func TestBatchEqualsSerialLockstep(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		rng := stats.NewRNG(0xb10c ^ seed)
+		nR := 3 + rng.Intn(8)
+		caps := make([]int64, nR)
+		for r := range caps {
+			caps[r] = int64(rng.Intn(4))
+		}
+		batch := NewMatcher(caps)
+		serial := NewMatcher(caps)
+		serial.SerialAugment = true
+
+		adj := newListAdj()
+		var nextLeft int
+		var free []int // recycled left IDs
+		active := make(map[int]bool)
+		newNeighbors := func() []int {
+			var ns []int
+			for r := 0; r < nR; r++ {
+				if rng.Bool(0.4) {
+					ns = append(ns, r)
+				}
+			}
+			return ns
+		}
+
+		for round := 0; round < 50; round++ {
+			// Arrivals.
+			for i := rng.Intn(4); i > 0; i-- {
+				l := nextLeft
+				if n := len(free); n > 0 && rng.Bool(0.5) {
+					l = free[n-1]
+					free = free[:n-1]
+				} else {
+					nextLeft++
+				}
+				adj.neighbors[l] = newNeighbors()
+				active[l] = true
+				batch.AddLeft(l)
+				serial.AddLeft(l)
+			}
+			// Departures.
+			for l := range active {
+				if rng.Bool(0.15) {
+					delete(active, l)
+					free = append(free, l)
+					batch.RemoveLeft(l)
+					serial.RemoveLeft(l)
+				}
+			}
+			// Edge invalidation: rewire a few lefts, then Revalidate both.
+			// (The matchers hold different assignments, so the *drop counts*
+			// may legitimately differ; only cardinality after re-augmenting
+			// is pinned.)
+			for l := range active {
+				if rng.Bool(0.2) {
+					adj.neighbors[l] = newNeighbors()
+				}
+			}
+			batch.Revalidate(adj)
+			serial.Revalidate(adj)
+			// Capacity change: eviction victims are re-queued internally.
+			if rng.Bool(0.5) {
+				r := rng.Intn(nR)
+				c := int64(rng.Intn(4))
+				batch.SetCapacity(r, c)
+				serial.SetCapacity(r, c)
+			}
+
+			unB := batch.AugmentAll(adj)
+			unS := serial.AugmentAll(adj)
+			if batch.MatchedCount() != serial.MatchedCount() {
+				t.Fatalf("seed %d round %d: batch matched %d, serial %d",
+					seed, round, batch.MatchedCount(), serial.MatchedCount())
+			}
+			if len(unB) != len(unS) {
+				t.Fatalf("seed %d round %d: batch unmatched %v, serial %v", seed, round, unB, unS)
+			}
+			var lefts []int
+			for l := range active {
+				lefts = append(lefts, l)
+			}
+			capsNow := make([]int64, nR)
+			for r := 0; r < nR; r++ {
+				capsNow[r] = batch.Capacity(r)
+			}
+			if opt := optimalViaMaxflow(adj, lefts, capsNow); int64(batch.MatchedCount()) != opt {
+				t.Fatalf("seed %d round %d: matched %d, optimum %d", seed, round, batch.MatchedCount(), opt)
+			}
+			if err := batch.Verify(adj); err != nil {
+				t.Fatalf("seed %d round %d: batch matcher corrupt: %v", seed, round, err)
+			}
+			if err := serial.Verify(adj); err != nil {
+				t.Fatalf("seed %d round %d: serial matcher corrupt: %v", seed, round, err)
+			}
+		}
+	}
+}
+
+// TestBatchLongPaths exercises the phase machinery on an instance whose
+// last augmenting path is forced to be maximally long: a chain of
+// capacity-1 rights where left 0 can only enter at the occupied head, so
+// its augmentation must cascade every other left one hop down the chain
+// (path length n — also a recursion-depth check for the phase DFS).
+func TestBatchLongPaths(t *testing.T) {
+	const n = 512
+	caps := make([]int64, n)
+	for r := range caps {
+		caps[r] = 1
+	}
+	adj := newListAdj()
+	adj.add(0, 0)
+	for l := 1; l < n; l++ {
+		adj.add(l, l-1, l) // probes right l−1 first
+	}
+	m := NewMatcher(caps)
+	for l := n - 1; l >= 0; l-- {
+		m.AddLeft(l)
+		if un := m.AugmentAll(adj); un != nil {
+			t.Fatalf("left %d unmatched: %v", l, un)
+		}
+	}
+	if m.MatchedCount() != n {
+		t.Fatalf("matched %d, want %d", m.MatchedCount(), n)
+	}
+	if err := m.Verify(adj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchDepthFallback crosses maxBatchDepth with the same cascade
+// chain: the phase BFS measures a shortest path longer than the DFS
+// recursion bound, so the batch path must hand the frontier to the
+// iterative serial reference and still reach the maximum matching.
+func TestBatchDepthFallback(t *testing.T) {
+	const n = maxBatchDepth + 64
+	caps := make([]int64, n)
+	for r := range caps {
+		caps[r] = 1
+	}
+	adj := newListAdj()
+	adj.add(0, 0)
+	for l := 1; l < n; l++ {
+		adj.add(l, l-1, l)
+	}
+	m := NewMatcher(caps)
+	// Reverse arrival keeps every augmentation greedy (left l takes the
+	// free right l−1) until left 0 arrives and needs the full-length
+	// cascade through all n rights.
+	for l := n - 1; l >= 1; l-- {
+		m.AddLeft(l)
+		if un := m.AugmentAll(adj); un != nil {
+			t.Fatalf("left %d unmatched: %v", l, un)
+		}
+	}
+	m.AddLeft(0)
+	if un := m.AugmentAll(adj); un != nil {
+		t.Fatalf("cascade unmatched: %v", un)
+	}
+	if m.MatchedCount() != n {
+		t.Fatalf("matched %d, want %d", m.MatchedCount(), n)
+	}
+	if err := m.Verify(adj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetCapacityScratchReuse pins the scratch-buffer contract: the
+// victims slice is only valid until the next SetCapacity call.
+func TestSetCapacityScratchReuse(t *testing.T) {
+	m := NewMatcher([]int64{2, 2})
+	adj := newListAdj()
+	for l := 0; l < 4; l++ {
+		adj.add(l, l/2)
+		m.AddLeft(l)
+	}
+	if m.AugmentAll(adj) != nil {
+		t.Fatal("initial match failed")
+	}
+	first := m.SetCapacity(0, 0)
+	if len(first) != 2 {
+		t.Fatalf("victims = %v, want 2", first)
+	}
+	second := m.SetCapacity(1, 1)
+	if len(second) != 1 {
+		t.Fatalf("victims = %v, want 1", second)
+	}
+	if &first[0] == &second[0] && first[0] == second[0] {
+		// Shared backing storage is the point; just document that the
+		// earlier slice now aliases the newer victims.
+		t.Logf("scratch reused as documented")
+	}
+	if got := m.SetCapacity(1, 4); got != nil {
+		t.Fatalf("no-eviction call returned %v, want nil", got)
+	}
+}
+
 // TestAssignmentLog checks that LogAssignments records every left that
 // receives a server (including path moves) and that draining resets it.
 func TestAssignmentLog(t *testing.T) {

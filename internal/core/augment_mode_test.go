@@ -1,0 +1,93 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestBatchSerialSystemLockstep drives a batch-augmentation system and a
+// SerialAugment reference through an identical workload. While every
+// round is fully matched the two systems' observable state (progress,
+// busy sets, step results) is forced to coincide even though their
+// matchings may differ, and on the first round with unmatched requests
+// both must report the same cardinality — both matchers are maximum on
+// the same instance — and, under FailStop, the same obstruction: the
+// residual reachability set of a maximum flow is unique, so the Hall
+// certificate does not depend on which maximum matching was found.
+func TestBatchSerialSystemLockstep(t *testing.T) {
+	mk := func(serial bool) *System {
+		return buildHomogeneous(t, 43, 18, 1, 4, 9, 2, 0.8, 2.0, func(cfg *Config) {
+			cfg.SerialAugment = serial
+		})
+	}
+	batch, serialSys := mk(false), mk(true)
+	genB := &uniformGen{rng: stats.NewRNG(1213), p: 0.8}
+	genS := &uniformGen{rng: stats.NewRNG(1213), p: 0.8}
+	failed := false
+	for r := 1; r <= 120 && !failed; r++ {
+		resB, errB := batch.Step(genB)
+		resS, errS := serialSys.Step(genS)
+		if errB != nil || errS != nil {
+			t.Fatalf("round %d: errors batch=%v serial=%v", r, errB, errS)
+		}
+		if !reflect.DeepEqual(resB, resS) {
+			t.Fatalf("round %d step results diverge:\nbatch:  %+v\nserial: %+v", r, resB, resS)
+		}
+		if resB.Obstruction != nil {
+			failed = true
+		}
+		for _, slot := range batch.activeList {
+			if batch.reqProgress[slot] != serialSys.reqProgress[slot] {
+				t.Fatalf("round %d: progress of slot %d diverges: %d vs %d",
+					r, slot, batch.reqProgress[slot], serialSys.reqProgress[slot])
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("workload never produced an obstruction: the unmatched-round comparison is untested")
+	}
+}
+
+// TestBatchStallSweepComposition confirms the batch augmentation path
+// composes with PR 4's invalidation machinery end to end: an aggressive
+// FailStall workload on an event-driven system (certificates + recheck
+// ring, sweep fallback during stall episodes) must mix stall rounds and
+// recoveries without ever corrupting the matcher (Paranoid verifies every
+// round), and must come back to a certificate-driven steady state — a
+// fully matched round with the sweep flag cleared — after stalling.
+func TestBatchStallSweepComposition(t *testing.T) {
+	sys := buildHomogeneous(t, 47, 18, 1, 4, 9, 2, 0.8, 2.0, func(cfg *Config) {
+		cfg.Failure = FailStall
+	})
+	if sys.matcher.SerialAugment || !sys.eventDriven {
+		t.Fatal("test wants the production config: batch augmentation + event-driven invalidation")
+	}
+	gen := &uniformGen{rng: stats.NewRNG(733), p: 0.8}
+	stalledRounds, recoveries := 0, 0
+	stalled := false
+	for r := 1; r <= 200; r++ {
+		res, err := sys.Step(gen)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if res.Unmatched > 0 {
+			stalledRounds++
+			stalled = true
+			if !sys.needSweep {
+				t.Fatalf("round %d: stall did not arm the sweep fallback", r)
+			}
+		} else if stalled && !sys.needSweep {
+			// A full matching after a stall episode: certificates rebuilt.
+			recoveries++
+			stalled = false
+		}
+	}
+	if stalledRounds == 0 {
+		t.Fatal("workload produced no stalls: the sweep-fallback composition is untested")
+	}
+	if recoveries == 0 {
+		t.Fatal("system never recovered to certificate-driven operation after a stall episode")
+	}
+}

@@ -111,6 +111,12 @@ type Config struct {
 	// The reference path for differential tests and ablations; production
 	// runs leave it false.
 	SweepRevalidation bool
+	// SerialAugment selects the matcher's retained per-root augmentation
+	// reference instead of blocking-flow batch phases. Both reach a
+	// maximum matching every round (equal cardinality, possibly different
+	// assignments); the serial path exists for differential tests and
+	// ablations, and production runs leave it false.
+	SerialAugment bool
 	// TraceRounds records per-round statistics in the report when true.
 	TraceRounds bool
 }

@@ -137,7 +137,7 @@ func (s *System) admit(d Demand) admitCode {
 	if d.Video < 0 || int(d.Video) >= s.cat.M {
 		panic(fmt.Sprintf("core: demand for unknown video %d", d.Video))
 	}
-	if s.busy[d.Box] || s.outstanding[d.Box] > 0 {
+	if box := &s.boxes[d.Box]; box.busy || box.outstanding > 0 {
 		return admitBusy
 	}
 	if s.tracker.Allowance(d.Video) <= 0 {
@@ -171,9 +171,9 @@ func (s *System) admit(d Demand) admitCode {
 		}
 	}
 
-	s.outstanding[d.Box] = int32(planned)
+	s.boxes[d.Box].outstanding = int32(planned)
 	if planned > 0 {
-		s.busy[d.Box] = true
+		s.boxes[d.Box].busy = true
 		s.markBusy(b)
 	} else {
 		// Everything available locally: an instant viewing.

@@ -35,7 +35,7 @@ func TestEventInvalidationMatchesSweepRandomized(t *testing.T) {
 			t.Fatalf("round %d step results diverge:\nevent: %+v\nsweep: %+v", r, resE, resS)
 		}
 		for b := 0; b < event.n; b++ {
-			if event.busy[b] != sweep.busy[b] {
+			if event.boxes[b].busy != sweep.boxes[b].busy {
 				t.Fatalf("round %d: busy[%d] diverges", r, b)
 			}
 		}

@@ -34,10 +34,10 @@ func TestSoakMixedWorkload(t *testing.T) {
 			t.Fatalf("round %d: negative active requests", round)
 		}
 		for b := 0; b < n; b++ {
-			if sys.outstanding[b] < 0 {
+			if sys.boxes[b].outstanding < 0 {
 				t.Fatalf("round %d: box %d negative outstanding", round, b)
 			}
-			if sys.busy[b] && sys.outstanding[b] == 0 {
+			if sys.boxes[b].busy && sys.boxes[b].outstanding == 0 {
 				t.Fatalf("round %d: box %d busy with nothing outstanding", round, b)
 			}
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/bipartite"
 	"repro/internal/swarm"
@@ -22,12 +23,27 @@ type issuance struct {
 // are the current maximum.
 const maxIssuanceDelay = 4
 
+// boxRec packs the per-box engine state the hot paths probe — admission's
+// busy/outstanding check, completion's busy→idle transition, the idle
+// index position, and the capacity view — into one 16-byte record (13
+// bytes of fields padded to int32 alignment; four records per 64-byte
+// cache line). These used to live in four parallel population-sized
+// slices; at 10⁵–10⁶ boxes every probe then touched four distinct cache
+// lines, and the matcher's batch BFS sits right next to these probes
+// each round. One record keeps a box's whole engine state on a single
+// line.
+type boxRec struct {
+	outstanding int32 // unfinished requests + pending issuances
+	idlePos     int32 // index in idleList, or −1 while busy
+	capSlots    int32 // matcher capacity view (upload slots after reservations)
+	busy        bool
+}
+
 // System is a runnable instance of the paper's video system.
 type System struct {
 	cfg        Config
 	cat        video.Catalog
 	n          int
-	caps       []int64
 	totalSlots int64
 	matcher    *bipartite.Matcher
 	tracker    *swarm.Tracker
@@ -53,14 +69,12 @@ type System struct {
 	// Section 2.2 graph); the allocation half lives in cfg.Alloc.
 	avail availabilityStore
 
-	outstanding []int32 // per viewer box: unfinished requests + pending issuances
-	busy        []bool
-
-	// Intrusive idle-box set, maintained at the busy/idle transitions in
-	// admit and finishOne, so idle-box queries cost O(idle), never O(n).
-	// idlePos[b] is b's index in idleList, or −1 while busy.
+	// boxes is the compact per-box record array (see boxRec); idleList is
+	// the dense half of the intrusive idle-box set, maintained at the
+	// busy/idle transitions in admit and finishOne so idle-box queries
+	// cost O(idle), never O(n). boxes[b].idlePos back-points into it.
+	boxes    []boxRec
 	idleList []int32
-	idlePos  []int32
 
 	// pendingRing holds scheduled future requests bucketed by due round
 	// (round mod len), so issuing costs O(due this round), not O(pending).
@@ -92,13 +106,12 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg:         cfg,
 		cat:         cat,
 		n:           n,
-		caps:        caps,
 		matcher:     bipartite.NewMatcher(caps),
 		tracker:     swarm.NewTracker(cat.M, cat.T, cfg.Mu),
-		outstanding: make([]int32, n),
-		busy:        make([]bool, n),
+		boxes:       make([]boxRec, n),
 		pendingRing: make([][]issuance, maxIssuanceDelay+1),
 	}
+	s.matcher.SerialAugment = cfg.SerialAugment
 	if cfg.NaiveAvailability {
 		s.avail = newNaiveAvailability(cat.NumStripes(), cat.T)
 	} else {
@@ -112,10 +125,13 @@ func NewSystem(cfg Config) (*System, error) {
 		s.avail = ix
 	}
 	s.idleList = make([]int32, n)
-	s.idlePos = make([]int32, n)
 	for b := range s.idleList {
+		if caps[b] > math.MaxInt32 {
+			return nil, fmt.Errorf("core: box %d capacity %d slots overflows the box record", b, caps[b])
+		}
 		s.idleList[b] = int32(b)
-		s.idlePos[b] = int32(b)
+		s.boxes[b].idlePos = int32(b)
+		s.boxes[b].capSlots = int32(caps[b])
 	}
 	for _, c := range caps {
 		s.totalSlots += c
@@ -126,17 +142,17 @@ func NewSystem(cfg Config) (*System, error) {
 
 // markBusy removes box b from the idle set (swap-remove, O(1)).
 func (s *System) markBusy(b int32) {
-	pos := s.idlePos[b]
+	pos := s.boxes[b].idlePos
 	last := s.idleList[len(s.idleList)-1]
 	s.idleList[pos] = last
-	s.idlePos[last] = pos
+	s.boxes[last].idlePos = pos
 	s.idleList = s.idleList[:len(s.idleList)-1]
-	s.idlePos[b] = -1
+	s.boxes[b].idlePos = -1
 }
 
 // markIdle returns box b to the idle set.
 func (s *System) markIdle(b int32) {
-	s.idlePos[b] = int32(len(s.idleList))
+	s.boxes[b].idlePos = int32(len(s.idleList))
 	s.idleList = append(s.idleList, b)
 }
 
@@ -232,9 +248,10 @@ func (s *System) retireRequest(slot int32) {
 // finishOne decrements a viewer's outstanding work and frees the box when
 // everything (requests and scheduled issuances) has completed.
 func (s *System) finishOne(viewer int32) {
-	s.outstanding[viewer]--
-	if s.outstanding[viewer] == 0 && s.busy[viewer] {
-		s.busy[viewer] = false
+	box := &s.boxes[viewer]
+	box.outstanding--
+	if box.outstanding == 0 && box.busy {
+		box.busy = false
 		s.markIdle(viewer)
 		s.metrics.completedViewings++
 	}

@@ -26,7 +26,8 @@ func (v *View) Catalog() video.Catalog { return v.s.cat }
 
 // BoxIdle reports whether box b can accept a demand this round.
 func (v *View) BoxIdle(b int) bool {
-	return !v.s.busy[b] && v.s.outstanding[b] == 0
+	box := &v.s.boxes[b]
+	return !box.busy && box.outstanding == 0
 }
 
 // Upload returns the normalized upload capacity of box b.
@@ -34,7 +35,7 @@ func (v *View) Upload(b int) float64 { return v.s.cfg.Uploads[b] }
 
 // UploadSlots returns the matching capacity of box b in stripe slots
 // (after relay reservations).
-func (v *View) UploadSlots(b int) int64 { return v.s.caps[b] }
+func (v *View) UploadSlots(b int) int64 { return int64(v.s.boxes[b].capSlots) }
 
 // SwarmSize returns the current swarm size of a video.
 func (v *View) SwarmSize(id video.ID) int { return v.s.tracker.Size(id) }

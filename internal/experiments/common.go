@@ -35,7 +35,9 @@ type homParams struct {
 
 // buildHom constructs a homogeneous system with replication k, trimming
 // storage so the catalog is the largest m with k·m·c ≤ n·d·c. It returns
-// the system and the achieved catalog size.
+// the system and the achieved catalog size. Experiments honoring
+// Options.SerialAugment set cfg.SerialAugment in their tweak (see
+// tweakFor).
 func buildHom(seed uint64, p homParams, k int, tweak func(*core.Config)) (*core.System, int, error) {
 	storage := make([]float64, p.n)
 	for i := range storage {
@@ -66,6 +68,18 @@ func buildHom(seed uint64, p homParams, k int, tweak func(*core.Config)) (*core.
 		return nil, 0, err
 	}
 	return sys, m, nil
+}
+
+// tweakFor composes the Options-level config knobs (currently the
+// SerialAugment matcher ablation) with an experiment's own tweak, so
+// every builder call site honors the global flags with one wrapper.
+func tweakFor(o Options, extra func(*core.Config)) func(*core.Config) {
+	return func(cfg *core.Config) {
+		cfg.SerialAugment = o.SerialAugment
+		if extra != nil {
+			extra(cfg)
+		}
+	}
 }
 
 // namedGen pairs an adversary with a label for reports.
@@ -110,13 +124,16 @@ func feasibleAtK(o Options, p homParams, k, rounds, seeds int, tweak func(*core.
 	}
 	var trials []trial
 	for s := 0; s < seeds; s++ {
+		// One hashed seed per allocation replica: every generator in the
+		// suite attacks the same allocation (by design), but nearby (s, k)
+		// coordinates never share a stream.
 		for _, g := range suite {
-			trials = append(trials, trial{o.Seed + uint64(s)*7919, g})
+			trials = append(trials, trial{mixSeed(o.Seed, uint64(s), uint64(k)), g})
 		}
 	}
 	ok, err := parallelAll(o.workers(), len(trials), func(i int) (bool, error) {
 		tr := trials[i]
-		sys, _, err := buildHom(tr.seed, p, k, tweak)
+		sys, _, err := buildHom(tr.seed, p, k, tweakFor(o, tweak))
 		if err != nil {
 			return false, err
 		}

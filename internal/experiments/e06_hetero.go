@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+
 	"repro/internal/adversary"
 	"repro/internal/allocation"
 	"repro/internal/analysis"
@@ -22,7 +24,8 @@ func init() {
 }
 
 // buildHetero assembles a relayed system over a bimodal population.
-func buildHetero(seed uint64, pop hetero.Population, uStar, mu float64, c, k, T int) (*core.System, int, error) {
+// tweak (usually tweakFor) runs on the config before construction.
+func buildHetero(seed uint64, pop hetero.Population, uStar, mu float64, c, k, T int, tweak func(*core.Config)) (*core.System, int, error) {
 	relays, err := hetero.Compensate(pop.Uploads, uStar)
 	if err != nil {
 		return nil, 0, err
@@ -39,14 +42,18 @@ func buildHetero(seed uint64, pop hetero.Population, uStar, mu float64, c, k, T 
 	if err != nil {
 		return nil, 0, err
 	}
-	sys, err := core.NewSystem(core.Config{
+	cfg := core.Config{
 		Alloc:    alloc,
 		Uploads:  pop.Uploads,
 		Mu:       mu,
 		Strategy: core.StrategyRelayed,
 		UStar:    uStar,
 		Relays:   relays,
-	})
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -77,7 +84,7 @@ func runE6(o Options) Result {
 
 		outcome := "n/a (no relay assignment)"
 		val := 0.0
-		if sys, _, err := buildHetero(o.Seed+uint64(frac*1000), pop, uStar, mu, c, k, T); err == nil {
+		if sys, _, err := buildHetero(mixSeed(o.Seed, math.Float64bits(frac)), pop, uStar, mu, c, k, T, tweakFor(o, nil)); err == nil {
 			gen := &adversary.PoorFirst{UStar: uStar}
 			rep, runErr := sys.Run(gen, rounds)
 			if runErr != nil {

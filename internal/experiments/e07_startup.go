@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/hetero"
@@ -32,15 +34,18 @@ func runE7(o Options) Result {
 	p99S := fig.AddSeries("p99")
 
 	for _, load := range loads {
-		sys, _, err := buildHom(o.Seed, p, k, func(cfg *core.Config) {
+		sys, _, err := buildHom(o.Seed, p, k, tweakFor(o, func(cfg *core.Config) {
 			cfg.Failure = core.FailStall
-		})
+		}))
 		if err != nil {
 			tbl.AddRow(report.Cell(load), "error: "+err.Error(), "", "", "", "")
 			continue
 		}
+		// Hashed per load so nearby arrival probabilities never share a
+		// demand stream (the allocation seed stays fixed: every load is
+		// measured on the same system).
 		gen := &adversary.Retry{Inner: &adversary.Zipf{
-			RNG: stats.NewRNG(o.Seed ^ 0xe7), P: load, S: 0.9,
+			RNG: stats.NewRNG(mixSeed(o.Seed, 0xe7, math.Float64bits(load))), P: load, S: 0.9,
 		}}
 		rep, err := sys.Run(gen, rounds)
 		if err != nil {
@@ -59,7 +64,7 @@ func runE7(o Options) Result {
 	relTbl := report.New("E7b: start-up delay in the relayed heterogeneous system",
 		"population", "min", "max", "mean")
 	pop := hetero.Bimodal(pick(o, 20, 40), 0.7, 3.0, 0.5, 2.0)
-	if sys, _, err := buildHetero(o.Seed+1, pop, 1.5, 1.05, 25, 3, pick(o, 25, 40)); err == nil {
+	if sys, _, err := buildHetero(mixSeed(o.Seed, 0xe7b), pop, 1.5, 1.05, 25, 3, pick(o, 25, 40), tweakFor(o, nil)); err == nil {
 		gen := &adversary.PoorFirst{UStar: 1.5}
 		if rep, runErr := sys.Run(gen, pick(o, 60, 120)); runErr == nil {
 			d := rep.StartupDelay

@@ -61,7 +61,9 @@ func runE8(o Options) Result {
 				worstRatio := 0.0
 				minReplicas := k
 				for trial := 0; trial < trials; trial++ {
-					rng := stats.NewRNG(o.Seed + uint64(trial)*31 + uint64(n))
+					// Hashed per (trial, n); both schemes share a stream so the
+					// comparison is paired.
+					rng := stats.NewRNG(mixSeed(o.Seed, uint64(trial), uint64(n)))
 					var a *allocation.Allocation
 					if scheme == "permutation" {
 						a, err = allocation.Permutation(rng, cat, slots, k)

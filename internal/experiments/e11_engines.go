@@ -82,7 +82,7 @@ func synthesizeInstance(rng *stats.RNG, name string, n, stripes, perStripe, k, s
 }
 
 func runE11(o Options) Result {
-	rng := stats.NewRNG(o.Seed ^ 0xe11)
+	rng := stats.NewRNG(mixSeed(o.Seed, 0xe11))
 	scale := pick(o, 1, 4)
 	instances := []matchingInstance{
 		synthesizeInstance(rng, "sparse", 40*scale, 10*scale, 8, 3, 4),

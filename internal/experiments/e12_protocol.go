@@ -20,7 +20,7 @@ func init() {
 }
 
 func runE12(o Options) Result {
-	rng := stats.NewRNG(o.Seed ^ 0xe12)
+	rng := stats.NewRNG(mixSeed(o.Seed, 0xe12))
 	scale := pick(o, 1, 4)
 	instances := []matchingInstance{
 		synthesizeInstance(rng, "sparse", 40*scale, 10*scale, 8, 3, 4),
@@ -53,7 +53,7 @@ func runE12(o Options) Result {
 				return true
 			})
 		}
-		nsCfg := netsim.Config{BaseLatency: 1, Jitter: 0.4, Seed: o.Seed + uint64(idx)}
+		nsCfg := netsim.Config{BaseLatency: 1, Jitter: 0.4, Seed: mixSeed(o.Seed, 0xe12a, uint64(idx))}
 		blind := protocol.Run(inst, nsCfg)
 		herd := protocol.RunInformed(inst, nsCfg, protocol.VariantHerd)
 		informed := protocol.RunInformed(inst, nsCfg, protocol.VariantRandomInformed)

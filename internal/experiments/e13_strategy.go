@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/report"
@@ -49,9 +51,11 @@ func runE13(o Options) Result {
 			strat := strat
 			fails, err := parallelCount(o.workers(), trials, func(i int) (bool, error) {
 				p := homParams{n: n, d: d, c: c, T: T, u: u, mu: mu}
-				sys, _, err := buildHom(o.Seed+uint64(i)*7919, p, k, func(cfg *core.Config) {
+				// Hashed per (trial, µ); both strategies share a stream so the
+				// ablation is paired on identical allocations.
+				sys, _, err := buildHom(mixSeed(o.Seed, uint64(i), math.Float64bits(mu)), p, k, tweakFor(o, func(cfg *core.Config) {
 					cfg.Strategy = strat
-				})
+				}))
 				if err != nil {
 					return false, err
 				}

@@ -39,7 +39,7 @@ func runE14(o Options) Result {
 		defeated := 0
 		worst := 1e18
 		for trial := 0; trial < trials; trial++ {
-			seed := o.Seed + uint64(trial)*104729 + uint64(k)
+			seed := mixSeed(o.Seed, uint64(trial), uint64(k))
 			cat := video.MustCatalog(m, c, T)
 			total := k * m * c
 			slots := make([]int, n)

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/video"
+)
+
+func init() {
+	register(Experiment{
+		ID:   "E16",
+		Name: "utilization-sweep",
+		Claim: "round cost stays near-linear in live work as server utilization is driven " +
+			"from 50% toward saturation at fixed n, and blocking-flow batch augmentation " +
+			"never costs more than the per-root serial reference on the way up: on " +
+			"well-expanded workloads free slots stay reachable in O(1) probes and the two " +
+			"modes track each other, while the contended-crowd regime where batch wins " +
+			"outright (≥2×, up to ~20×) is pinned by E5b and BenchmarkAugmentAll",
+		Run: runE16,
+	})
+}
+
+// pinnedBusyArrivals holds the number of busy boxes at a target by
+// topping the system up with one demand per box that went idle, videos
+// rotating round-robin so swarms stay small. Generator cost is O(demands
+// issued) via the idle-box iterator — it never scans the population.
+type pinnedBusyArrivals struct {
+	targetBusy int
+	nextVideo  int
+}
+
+// Next implements core.Generator.
+func (g *pinnedBusyArrivals) Next(v *core.View, _ int) []core.Demand {
+	want := g.targetBusy - (v.NumBoxes() - v.NumIdle())
+	if want <= 0 {
+		return nil
+	}
+	m := v.Catalog().M
+	out := make([]core.Demand, 0, want)
+	v.VisitIdle(func(b int) bool {
+		vid := video.ID(g.nextVideo % m)
+		g.nextVideo++
+		if v.SwarmAllowance(vid) > 0 {
+			out = append(out, core.Demand{Box: b, Video: vid})
+		}
+		return len(out) < want
+	})
+	return out
+}
+
+func runE16(o Options) Result {
+	// u = 1 puts the ceiling exactly where the paper's threshold lives: a
+	// busy box holds ~c live requests against c upload slots, so pinning
+	// busyFrac of the population busy drives utilization to ≈ busyFrac
+	// with no spare capacity anywhere else.
+	n := pick(o, 256, 4096)
+	const (
+		d, k = 2, 2
+		u    = 1.0
+		mu   = 1.2
+	)
+	c := pick(o, 8, 40)
+	T := pick(o, 20, 50)
+	targets := []float64{0.50, 0.80, 0.90, 0.95, 0.99}
+	rounds := pick(o, 30, 80)
+	warmup := T + 10 // past the first cache-window expiry: steady-state churn
+
+	fig := report.NewFigure("E16: serial/batch matcher speedup vs utilization", "target utilization", "speedup ×")
+	speedupS := fig.AddSeries("serial ms/round ÷ batch ms/round")
+
+	tbl := report.New("E16: utilization sweep at fixed n — batch vs serial augmentation",
+		"target util", "achieved util batch", "achieved util serial", "live requests",
+		"ms/round batch", "ms/round serial", "speedup ×", "stalls batch")
+	for _, w := range targets {
+		var ms [2]float64
+		var achieved [2]float64
+		var live, stallsBatch int64
+		failed := false
+		for mode, serial := range []bool{false, true} {
+			p := homParams{n: n, d: d, c: c, T: T, u: u, mu: mu}
+			sys, _, err := buildHom(mixSeed(o.Seed, math.Float64bits(w)), p, k, func(cfg *core.Config) {
+				cfg.Failure = core.FailStall
+				cfg.SerialAugment = serial
+			})
+			if err != nil {
+				tbl.AddRow(report.Cell(w), "error: "+err.Error(), "", "", "", "", "", "")
+				failed = true
+				break
+			}
+			totalSlots := sys.TotalSlots()
+			gen := &pinnedBusyArrivals{targetBusy: int(w * float64(n))}
+			if _, err := sys.Run(gen, warmup); err != nil {
+				tbl.AddRow(report.Cell(w), "error: "+err.Error(), "", "", "", "", "", "")
+				failed = true
+				break
+			}
+			var matchedSum int64
+			var stepErr error
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				res, err := sys.Step(gen)
+				if err != nil {
+					stepErr = err
+					break
+				}
+				matchedSum += int64(res.Matched)
+			}
+			elapsed := time.Since(start)
+			if stepErr != nil {
+				tbl.AddRow(report.Cell(w), "error: "+stepErr.Error(), "", "", "", "", "", "")
+				failed = true
+				break
+			}
+			ms[mode] = float64(elapsed.Microseconds()) / 1000 / float64(rounds)
+			achieved[mode] = float64(matchedSum) / float64(rounds) / float64(totalSlots)
+			if !serial {
+				live = int64(sys.View().ActiveRequests())
+				stallsBatch = sys.Report().Stalls
+			}
+		}
+		if failed {
+			continue
+		}
+		speedup := 0.0
+		if ms[0] > 0 {
+			speedup = ms[1] / ms[0]
+		}
+		speedupS.Add(w, speedup)
+		// The two achieved-util columns are the cardinality pin made
+		// visible: both modes reach maximum matchings, so on stall-free
+		// rows they agree exactly.
+		tbl.AddRowValues(w, achieved[0], achieved[1], live, ms[0], ms[1], speedup, stallsBatch)
+	}
+	tbl.AddNote("n=%d d=%d c=%d k=%d T=%d u=%.2f µ=%.1f; %d timed rounds after %d warm-up; "+
+		"busy-box count pinned per target, videos rotated round-robin",
+		n, d, c, k, T, u, mu, rounds, warmup)
+	tbl.AddNote("claim shape: ms/round grows ~linearly with live requests and the two modes " +
+		"track each other (speedup ≈ 1) — this rotating workload keeps the request graph " +
+		"an expander, so completions free whole boxes and augmenting paths stay short even " +
+		"at 95%%+ utilization; the contended single-video crowd where paths stretch and " +
+		"batch phases win outright is E5b / BenchmarkAugmentAll; both modes reach maximum " +
+		"matchings, so achieved utilization is mode-independent until the first stall " +
+		"round; wall-clock timings are indicative — run with -seq on a quiet machine")
+	return Result{ID: "E16", Name: "utilization-sweep", Claim: registry["E16"].Claim,
+		Tables: []*report.Table{tbl}, Figures: []*report.Figure{fig}}
+}

@@ -23,6 +23,10 @@ type Options struct {
 	Quick bool
 	// Workers bounds the Monte-Carlo worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// SerialAugment runs every simulated system on the matcher's retained
+	// per-root augmentation reference instead of blocking-flow batch
+	// phases (vodbench -serial-augment; ablations and A/B timing).
+	SerialAugment bool
 }
 
 func (o Options) workers() int {
