@@ -9,6 +9,7 @@ package vod
 // One experiment:   go test -bench=BenchmarkE5 -v   (-v prints the tables)
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -334,11 +335,12 @@ func (g *sweepArrivals) Next(v *View, _ int) []Demand {
 // benchStepBounded drives Step at population n with an arrival rate that
 // is *independent* of n (fixed demands/round), so the live request set —
 // and therefore, with fully output-sensitive rounds, the per-round cost —
-// is the same at every population size.
-func benchStepBounded(b *testing.B, n, perRound int) {
+// is the same at every population size. shards > 1 runs the sharded
+// round engine (bit-identical results, different wall-clock).
+func benchStepBounded(b *testing.B, n, perRound, shards int) {
 	sys, err := New(Spec{
 		Boxes: n, Upload: 2.0, Storage: 2, Stripes: 4, Replicas: 4,
-		Duration: 50, Growth: 1.2, Seed: 17,
+		Duration: 50, Growth: 1.2, Seed: 17, Shards: shards,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -366,14 +368,37 @@ func benchStepBounded(b *testing.B, n, perRound int) {
 // sustained arrivals. Per-round cost must scale with live cache entries and
 // in-flight requests, not with catalog size or the historical peak slot
 // count.
-func BenchmarkStepLargeSwarm(b *testing.B) { benchStepBounded(b, 100_000, 100) }
+func BenchmarkStepLargeSwarm(b *testing.B) { benchStepBounded(b, 100_000, 100, 0) }
 
 // BenchmarkStepMillionBoxes is BenchmarkStepLargeSwarm at 10× the
 // population with the *same* bounded live workload (100 arrivals/round).
 // With event-driven invalidation and the idle-box index the round loop is
 // fully output-sensitive, so ns/op here must stay within ~2× of the
 // large-swarm benchmark — round cost no longer scales with n.
-func BenchmarkStepMillionBoxes(b *testing.B) { benchStepBounded(b, 1_000_000, 100) }
+func BenchmarkStepMillionBoxes(b *testing.B) { benchStepBounded(b, 1_000_000, 100, 0) }
+
+// BenchmarkStepTenMillionBoxes pushes the bounded workload to 10⁷ boxes
+// (an ~5M-video catalog, 20M stripes) on the sharded round engine. This
+// is the one benchmark that defaults Shards to GOMAXPROCS — seeded
+// experiments and the other benches keep the serial engine unless asked
+// — so it measures what the engine does with every core the host gives
+// it while the output stays bit-identical to the serial run.
+func BenchmarkStepTenMillionBoxes(b *testing.B) {
+	benchStepBounded(b, 10_000_000, 100, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkStepShardScaling holds one contended workload fixed (10⁶
+// boxes, 1000 arrivals/round — 10× the bounded benches, so matching and
+// invalidation dominate the round) and sweeps the shard count. shards=1
+// is the serial engine; the ratios are the measured scaling curve, and
+// on a single-core host they are pure coordination overhead.
+func BenchmarkStepShardScaling(b *testing.B) {
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run("shards="+strconv.Itoa(s), func(b *testing.B) {
+			benchStepBounded(b, 1_000_000, 1000, s)
+		})
+	}
+}
 
 // --- Protocol and netsim benchmarks ---
 

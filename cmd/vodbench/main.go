@@ -34,7 +34,8 @@ func main() {
 		runIDs  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		full    = flag.Bool("full", false, "full-size runs (default: quick)")
 		seed    = flag.Uint64("seed", 42, "master random seed")
-		workers = flag.Int("workers", 0, "Monte-Carlo workers (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "Monte-Carlo trial pool: how many independent trials run concurrently (0 = GOMAXPROCS); for parallelism inside one simulated system see -shards")
+		shards  = flag.Int("shards", 0, "intra-run parallelism: shards per simulated round engine (0 = serial engine); results are bit-identical at any shard count")
 		format  = flag.String("format", "text", "output format: text, md, csv")
 		plot    = flag.Bool("plot", false, "render ASCII plots for figures (text format only)")
 		seq     = flag.Bool("seq", false, "run experiments sequentially, streaming output")
@@ -56,7 +57,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: !*full, Workers: *workers, SerialAugment: *serial}
+	opts := experiments.Options{Seed: *seed, Quick: !*full, Workers: *workers, SerialAugment: *serial, Shards: *shards}
 	var selected []experiments.Experiment
 	if *runIDs == "" {
 		selected = experiments.All()

@@ -49,7 +49,8 @@ func main() {
 		replayPath = flag.String("replay", "", "replay a recorded workload instead of -workload")
 		audit      = flag.Bool("audit", false, "run the sampled expansion audit on the allocation before simulating")
 		seeds      = flag.Int("seeds", 1, "number of independent replicas (seed, seed+1, …) run on a worker pool")
-		workers    = flag.Int("workers", 0, "replica worker pool size (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "replica worker pool size: concurrent independent replicas (0 = GOMAXPROCS); for parallelism inside one replica see -shards")
+		shards     = flag.Int("shards", 0, "intra-run parallelism: shards per round engine (0 = serial engine); results are bit-identical at any shard count")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 			SourcingOnly: *sourcing,
 			Resilient:    *resilient,
 			Trace:        *roundTrace,
+			Shards:       *shards,
 			Seed:         allocSeed,
 		}
 		if *heteroP > 0 {

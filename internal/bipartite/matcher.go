@@ -20,6 +20,7 @@ package bipartite
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -112,6 +113,9 @@ type Matcher struct {
 	reachedR []int32 // rights first visited in the current search
 	todo     []int32 // AugmentAll worklist scratch
 	victims  []int   // SetCapacity eviction scratch, reused across calls
+	// unmatchedOut is the AugmentAll return buffer (DrainAssigned
+	// convention: valid until the next call, never retained by callers).
+	unmatchedOut []int
 
 	// Lefts that may need (re-)augmentation: newly added or unassigned
 	// since the last AugmentAll. Keeping them explicit makes AugmentAll
@@ -132,6 +136,13 @@ type Matcher struct {
 	logAssigns bool
 	assignLog  []int32
 
+	// Touched-right log for the sharded merge phase: when enabled, every
+	// load change records its right so the coordinator can recompute the
+	// global load of exactly the rights this shard moved. Entries repeat;
+	// the drain side dedups with an epoch stamp.
+	logTouches bool
+	touchLog   []int32
+
 	matchedCount int
 }
 
@@ -144,7 +155,9 @@ func (m *Matcher) markDirty(l int) {
 }
 
 // NewMatcher creates a matcher over numRight boxes with the given slot
-// capacities (len(caps) == numRight).
+// capacities (len(caps) == numRight). A nil caps builds an empty matcher
+// whose right space grows lazily through AddRight (the sharded engine's
+// sub-matchers register only the boxes their shard actually touches).
 func NewMatcher(caps []int64) *Matcher {
 	m := &Matcher{
 		rights:     make([]rightRec, len(caps)),
@@ -155,6 +168,17 @@ func NewMatcher(caps []int64) *Matcher {
 		m.rights[r].parentLeft = -1
 	}
 	return m
+}
+
+// AddRight appends a right node with the given capacity and returns its
+// id. Sub-matchers in the sharded engine use it to register boxes on
+// first touch, keeping their right space proportional to the shard's
+// working set instead of the whole population.
+func (m *Matcher) AddRight(cap int64) int {
+	r := len(m.rights)
+	m.rights = append(m.rights, rightRec{cap: cap, parentLeft: -1})
+	m.rightLefts = append(m.rightLefts, nil)
+	return r
 }
 
 // NumRight returns the number of right nodes.
@@ -171,6 +195,11 @@ func (m *Matcher) MatchedCount() int { return m.matchedCount }
 
 // NumActive returns the number of active left nodes.
 func (m *Matcher) NumActive() int { return len(m.activeLefts) }
+
+// ActiveLefts returns the live left set in internal (swap-remove) order.
+// It is the matcher's own list: read-only, invalidated by AddLeft and
+// RemoveLeft.
+func (m *Matcher) ActiveLefts() []int32 { return m.activeLefts }
 
 // SetCapacity adjusts the capacity of right node r. Lowering below the
 // current load unassigns arbitrary assigned lefts until feasible; the
@@ -266,6 +295,9 @@ func (m *Matcher) assign(l, r int) {
 	if m.logAssigns {
 		m.assignLog = append(m.assignLog, int32(l))
 	}
+	if m.logTouches {
+		m.touchLog = append(m.touchLog, int32(r))
+	}
 }
 
 func (m *Matcher) unassign(l int) {
@@ -281,6 +313,9 @@ func (m *Matcher) unassign(l int) {
 	m.posInRight[l] = -1
 	m.matchedCount--
 	m.markDirty(l)
+	if m.logTouches {
+		m.touchLog = append(m.touchLog, r)
+	}
 }
 
 // move reassigns l from its current server to r without touching other
@@ -288,6 +323,24 @@ func (m *Matcher) unassign(l int) {
 func (m *Matcher) move(l, r int) {
 	m.unassign(l)
 	m.assign(l, r)
+}
+
+// Unassign drops left l's current assignment (it must have one) and
+// queues it for re-augmentation. The sharded merge phase uses it to evict
+// provisional claims that lost the capacity reconciliation.
+func (m *Matcher) Unassign(l int) { m.unassign(l) }
+
+// ForceAssign assigns left l to right r, releasing any current server
+// first. The caller asserts the edge exists and that global capacity
+// admits the assignment; when r's local capacity view would be exceeded
+// the view is raised to the new load (the sharded engine's per-round
+// capacity refresh restores the true view before the next parallel
+// phase).
+func (m *Matcher) ForceAssign(l, r int) {
+	m.assign(l, r)
+	if m.rights[r].load > m.rights[r].cap {
+		m.rights[r].cap = m.rights[r].load
+	}
 }
 
 // revalidateOne re-checks left l's assignment and unassigns it when the
@@ -348,12 +401,14 @@ func (m *Matcher) Revalidate(adj Adjacency) int {
 // left is re-queued for augmentation).
 func (m *Matcher) InvalidateBatch(adj Adjacency, lefts []int32) int {
 	hinter, _ := adj.(Hinted)
-	sort.Slice(lefts, func(i, j int) bool {
-		pi, pj := m.posActive[lefts[i]], m.posActive[lefts[j]]
-		if pi != pj {
-			return pi < pj
+	// slices.SortFunc, not sort.Slice: the reflection-based variant
+	// allocates its closure header every call, and this runs once per
+	// event-driven round on the hot invalidation path.
+	slices.SortFunc(lefts, func(a, b int32) int {
+		if pa, pb := m.posActive[a], m.posActive[b]; pa != pb {
+			return int(pa - pb)
 		}
-		return lefts[i] < lefts[j]
+		return int(a - b)
 	})
 	dropped := 0
 	prev := int32(-1)
@@ -397,6 +452,23 @@ func (m *Matcher) DrainAssigned(dst []int32) []int32 {
 	return dst
 }
 
+// LogTouches enables (or disables) the touched-right log drained by
+// DrainTouched.
+func (m *Matcher) LogTouches(on bool) {
+	m.logTouches = on
+	if !on {
+		m.touchLog = m.touchLog[:0]
+	}
+}
+
+// DrainTouched appends the rights whose load changed since the last drain
+// to dst and clears the log. Entries may repeat.
+func (m *Matcher) DrainTouched(dst []int32) []int32 {
+	dst = append(dst, m.touchLog...)
+	m.touchLog = m.touchLog[:0]
+	return dst
+}
+
 // AugmentAll drives the matching to maximum over the dirty frontier: the
 // lefts that were added or unassigned since the last call. The default
 // path runs blocking-flow batch phases (augmentBatch); SerialAugment
@@ -404,6 +476,9 @@ func (m *Matcher) DrainAssigned(dst []int32) []int32 {
 // path from the implicit super-source, so the matching is maximum. It
 // returns the remaining unmatched lefts in ascending order; a non-empty
 // result certifies a Lemma 1 obstruction, extractable via HallViolator.
+// The returned slice is a scratch buffer owned by the matcher (the
+// DrainAssigned convention): it is valid until the next AugmentAll call
+// and must not be retained across rounds.
 func (m *Matcher) AugmentAll(adj Adjacency) []int {
 	todo := m.todo[:0]
 	for _, l := range m.dirty {
@@ -422,15 +497,15 @@ func (m *Matcher) AugmentAll(adj Adjacency) []int {
 		m.todo = todo
 		return nil
 	}
-	unmatched := make([]int, len(todo))
-	for i, l := range todo {
-		unmatched[i] = int(l)
+	m.unmatchedOut = m.unmatchedOut[:0]
+	for _, l := range todo {
+		m.unmatchedOut = append(m.unmatchedOut, int(l))
 		// Still unmatched: must be retried on the next call.
 		m.markDirty(int(l))
 	}
 	m.todo = todo[:0]
-	sort.Ints(unmatched)
-	return unmatched
+	sort.Ints(m.unmatchedOut)
+	return m.unmatchedOut
 }
 
 // augmentSerial is the reference augmentation path: one alternating BFS
@@ -720,6 +795,100 @@ func (m *Matcher) beginSearch() {
 		}
 		m.epoch = 1
 	}
+}
+
+// CanonicalizeDeficit rewrites a maximum-but-deficient matching so the
+// *set* of matched lefts is canonical: the matroid-greedy optimum that
+// covers the lexicographically smallest (by left id) coverable subset.
+// Coverable left-sets form a transversal matroid, so this optimum is
+// unique and independent of which maximum matching the search found — it
+// is the fixpoint where no unmatched left can displace a matched left
+// with a larger id along an alternating path. Exchanges strictly shrink
+// the sorted matched-id vector, so any maximal exchange sequence
+// terminates at that same fixpoint regardless of order; this is what lets
+// the serial and sharded engines (and the batch and per-root augmenters)
+// agree bit-for-bit on which requests stall in a deficit round. The
+// unmatched slice is updated in place (each displacement swaps a root for
+// its victim) and returned re-sorted; cardinality never changes.
+func (m *Matcher) CanonicalizeDeficit(adj Adjacency, unmatched []int) []int {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(unmatched); i++ {
+			u := unmatched[i]
+			if !m.active[u] || m.assigned[u] != Unassigned {
+				continue
+			}
+			if v, ok := m.displace(adj, u); ok {
+				if v >= 0 {
+					unmatched[i] = v
+				} else {
+					// The matching was not maximum after all: the root
+					// augmented without displacing anyone.
+					unmatched = append(unmatched[:i], unmatched[i+1:]...)
+					i--
+				}
+				changed = true
+			}
+		}
+		if changed {
+			sort.Ints(unmatched)
+		}
+	}
+	return unmatched
+}
+
+// displace runs one canonicalization exchange: an alternating BFS from
+// the unmatched root stopping at the first reached assigned left with a
+// larger id, which is unassigned so the path can shift the root into the
+// matching. It returns (victim, true) after an exchange, (-1, true) if
+// the root augmented outright onto spare capacity, and (-1, false) when
+// no exchange exists (the root already belongs to the canonical stall
+// set).
+func (m *Matcher) displace(adj Adjacency, root int) (int, bool) {
+	if hinter, ok := adj.(Hinted); ok && hinter.ServerCountHint(root) == 0 {
+		return -1, false
+	}
+	m.beginSearch()
+	m.queue = m.queue[:0]
+	m.queue = append(m.queue, int32(root))
+	m.visitL[root] = m.epoch
+	for head := 0; head < len(m.queue); head++ {
+		l := m.queue[head]
+		victim, server := -1, -1
+		adj.VisitServers(int(l), func(r int) bool {
+			rr := &m.rights[r]
+			if rr.visit == m.epoch {
+				return true
+			}
+			rr.visit = m.epoch
+			rr.parentLeft = l
+			if rr.load < rr.cap {
+				// The matching was not maximum after all: plain augment.
+				server = r
+				return false
+			}
+			for _, l2 := range m.rightLefts[r] {
+				if m.visitL[l2] == m.epoch {
+					continue
+				}
+				m.visitL[l2] = m.epoch
+				if int(l2) > root {
+					victim, server = int(l2), r
+					return false
+				}
+				m.queue = append(m.queue, l2)
+			}
+			return true
+		})
+		if server >= 0 {
+			if victim >= 0 {
+				m.unassign(victim)
+			}
+			m.applyPath(server)
+			return victim, true
+		}
+	}
+	return -1, false
 }
 
 // Violator is a Hall-condition violation certificate: a set of requests

@@ -1,0 +1,583 @@
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sharded coordinates one sub-Matcher per stripe shard so the hot stages
+// of a round can run concurrently. Left nodes partition cleanly — a
+// request for stripe s only ever edges into boxes possessing s, and
+// stripes are assigned to shards statically — but box capacity is shared
+// across shards, so each sub-matcher works against a *capacity view*:
+//
+//	view_s(b) = cap(b) − load(b) + load_s(b)
+//
+// i.e. the box's true capacity minus what the *other* shards held at the
+// start of the round. Views make every provisional claim a shard takes
+// individually feasible against round-start state, but simultaneous
+// claims can oversubscribe a box; the deterministic reduction phase
+// (Merge) recomputes true loads from per-shard touch logs in fixed shard
+// order, evicts over-capacity claims tail-first from the highest shard
+// down, and the spilled lefts are re-augmented in a short serial pass
+// over the global graph (GlobalAugment), which also runs cross-shard
+// alternating paths so the final matching is globally maximum. Every step
+// is a fixed-order fold over per-shard state, so results depend only on
+// the shard count, never on GOMAXPROCS or scheduling.
+//
+// Sub-matchers address rights in a shard-local dense id space grown on
+// first touch (AddRight): at ten million boxes a shard only materializes
+// state for the boxes its stripes' holders and cache entries actually
+// reach, not the whole population. The l2g/g2l tables translate between
+// the spaces; global left ids are shared by all sub-matchers (each left
+// is active in exactly one).
+type Sharded struct {
+	subs []*Matcher
+	g2l  [][]int32 // per shard: global box -> local right, -1 unregistered
+	l2g  [][]int32 // per shard: local right -> global box
+
+	gcap      []int64
+	gload     []int64
+	leftShard []int32 // left -> owning shard
+
+	// Capacity-view refresh window: rights whose true load (or local
+	// distribution) changed since the last refresh. Shards drain the list
+	// read-only at the start of their parallel stage; all writes happen in
+	// the serial phases.
+	capStamp []uint32
+	capEpoch uint32
+	capDirty []int32
+
+	// Merge / global-search scratch, reused across rounds. outBuf is the
+	// GlobalAugment return buffer (DrainAssigned convention: valid until
+	// the next call, never retained by callers).
+	touches []int32
+	spill   []int
+	roots   []int
+	outBuf  []int
+
+	epoch   uint32
+	rvisit  []uint32
+	rparent []int32
+	lvisit  []uint32
+	queue   []int32
+	reached []int32
+}
+
+// NewSharded builds a coordinator over the given box capacities with the
+// given shard count (≥ 1). Sub-matchers start empty and grow as shards
+// touch boxes.
+func NewSharded(caps []int64, shards int) *Sharded {
+	sh := &Sharded{
+		subs:     make([]*Matcher, shards),
+		g2l:      make([][]int32, shards),
+		l2g:      make([][]int32, shards),
+		gcap:     append([]int64(nil), caps...),
+		gload:    make([]int64, len(caps)),
+		capStamp: make([]uint32, len(caps)),
+		capEpoch: 1,
+		rvisit:   make([]uint32, len(caps)),
+		rparent:  make([]int32, len(caps)),
+	}
+	for s := range sh.subs {
+		sh.subs[s] = NewMatcher(nil)
+		sh.subs[s].LogTouches(true)
+		g2l := make([]int32, len(caps))
+		for i := range g2l {
+			g2l[i] = -1
+		}
+		sh.g2l[s] = g2l
+	}
+	return sh
+}
+
+// NumShards returns the shard count.
+func (sh *Sharded) NumShards() int { return len(sh.subs) }
+
+// Sub returns shard s's sub-matcher for shard-local operations (per-shard
+// augmentation, invalidation, assignment logs). Callers must confine
+// concurrent use of a sub-matcher to its own shard's stage.
+func (sh *Sharded) Sub(s int) *Matcher { return sh.subs[s] }
+
+// Register maps global box g into shard s's right space, materializing
+// the right on first touch with the current capacity view. Safe to call
+// from shard s's own parallel stage (only shard s mutates its tables) and
+// from any serial phase.
+func (sh *Sharded) Register(s, g int) int {
+	if lr := sh.g2l[s][g]; lr >= 0 {
+		return int(lr)
+	}
+	sub := sh.subs[s]
+	lr := sub.AddRight(sh.gcap[g] - sh.gload[g])
+	sh.g2l[s][g] = int32(lr)
+	sh.l2g[s] = append(sh.l2g[s], int32(g))
+	return lr
+}
+
+// Local returns shard s's right id for global box g, or -1 when the box
+// was never registered there.
+func (sh *Sharded) Local(s, g int) int {
+	return int(sh.g2l[s][g])
+}
+
+// Global translates shard s's local right id back to the global box id.
+func (sh *Sharded) Global(s, lr int) int { return int(sh.l2g[s][lr]) }
+
+// AddLeft activates left l in shard s.
+func (sh *Sharded) AddLeft(l, s int) {
+	for len(sh.leftShard) <= l {
+		sh.leftShard = append(sh.leftShard, -1)
+		sh.lvisit = append(sh.lvisit, 0)
+	}
+	sh.leftShard[l] = int32(s)
+	sh.subs[s].AddLeft(l)
+}
+
+// RemoveLeft deactivates left l, releasing its slot in both the owning
+// sub-matcher and the global load table.
+func (sh *Sharded) RemoveLeft(l int) {
+	s := sh.leftShard[l]
+	sub := sh.subs[s]
+	was := sub.Server(l)
+	sub.RemoveLeft(l)
+	if was != Unassigned {
+		g := int(sh.l2g[s][was])
+		sh.gload[g]--
+		sh.markCapDirty(g)
+	}
+}
+
+// Shard returns the shard owning left l.
+func (sh *Sharded) Shard(l int) int { return int(sh.leftShard[l]) }
+
+// Server returns the global box assigned to left l, or Unassigned.
+func (sh *Sharded) Server(l int) int {
+	if l >= len(sh.leftShard) || sh.leftShard[l] < 0 {
+		return Unassigned
+	}
+	s := sh.leftShard[l]
+	lr := sh.subs[s].Server(l)
+	if lr == Unassigned {
+		return Unassigned
+	}
+	return int(sh.l2g[s][lr])
+}
+
+// Load returns the true load of global box g (fresh in serial phases;
+// during parallel stages it reflects round-start state).
+func (sh *Sharded) Load(g int) int64 { return sh.gload[g] }
+
+// Capacity returns the capacity of global box g.
+func (sh *Sharded) Capacity(g int) int64 { return sh.gcap[g] }
+
+// MatchedCount sums the sub-matchers' matched counts.
+func (sh *Sharded) MatchedCount() int {
+	n := 0
+	for _, sub := range sh.subs {
+		n += sub.MatchedCount()
+	}
+	return n
+}
+
+func (sh *Sharded) markCapDirty(g int) {
+	if sh.capStamp[g] == sh.capEpoch {
+		return
+	}
+	sh.capStamp[g] = sh.capEpoch
+	sh.capDirty = append(sh.capDirty, int32(g))
+}
+
+// RefreshCapacities re-derives shard s's capacity views for every right
+// in the current dirty window. Called by each shard at the start of its
+// parallel stage: the window is read-only there (all writers are serial),
+// and gcap − gload is exactly the spare capacity the other shards left at
+// round start plus this shard's own held load.
+func (sh *Sharded) RefreshCapacities(s int) {
+	sub := sh.subs[s]
+	g2l := sh.g2l[s]
+	for _, g := range sh.capDirty {
+		if lr := g2l[g]; lr >= 0 {
+			sub.SetCapacity(int(lr), sh.gcap[g]-sh.gload[g]+sub.Load(int(lr)))
+		}
+	}
+}
+
+// sumLoads recomputes the true load of global box g across all shards.
+func (sh *Sharded) sumLoads(g int) int64 {
+	var sum int64
+	for s := range sh.subs {
+		if lr := sh.g2l[s][g]; lr >= 0 {
+			sum += sh.subs[s].Load(int(lr))
+		}
+	}
+	return sum
+}
+
+// Merge is the deterministic reduction phase run after the parallel
+// augmentation stage: it opens a fresh capacity-dirty window, folds every
+// shard's touch log in fixed shard order to recompute true box loads, and
+// evicts over-capacity claims — highest shard first, each shard's
+// assignment-list tail first — until every box is feasible. The evicted
+// lefts are returned (ascending) for the serial re-augmentation pass.
+// Identical per-shard inputs produce identical spills at any GOMAXPROCS.
+func (sh *Sharded) Merge() []int {
+	sh.capDirty = sh.capDirty[:0]
+	sh.capEpoch++
+	if sh.capEpoch == 0 {
+		for i := range sh.capStamp {
+			sh.capStamp[i] = 0
+		}
+		sh.capEpoch = 1
+	}
+	sh.spill = sh.spill[:0]
+	for s := range sh.subs {
+		sh.touches = sh.subs[s].DrainTouched(sh.touches[:0])
+		for _, lr := range sh.touches {
+			g := int(sh.l2g[s][lr])
+			if sh.capStamp[g] == sh.capEpoch {
+				continue
+			}
+			sh.markCapDirty(g)
+			sh.gload[g] = sh.sumLoads(g)
+		}
+	}
+	// Second sweep: evict where claims oversubscribed a box. capDirty is
+	// in deterministic first-touch order; eviction order across boxes is
+	// immaterial (boxes are independent here).
+	for _, g32 := range sh.capDirty {
+		g := int(g32)
+		for s := len(sh.subs) - 1; s >= 0 && sh.gload[g] > sh.gcap[g]; s-- {
+			lr := sh.g2l[s][g]
+			if lr < 0 {
+				continue
+			}
+			sub := sh.subs[s]
+			for sh.gload[g] > sh.gcap[g] {
+				lefts := sub.AssignedLefts(int(lr))
+				if len(lefts) == 0 {
+					break
+				}
+				victim := int(lefts[len(lefts)-1])
+				sub.Unassign(victim)
+				sh.gload[g]--
+				sh.spill = append(sh.spill, victim)
+			}
+		}
+	}
+	sort.Ints(sh.spill)
+	return sh.spill
+}
+
+// beginSearch opens a global alternating-search scope (epoch-stamped
+// scratch, cleared only on the rare wrap).
+func (sh *Sharded) beginSearch() {
+	sh.epoch++
+	if sh.epoch == 0 {
+		for i := range sh.rvisit {
+			sh.rvisit[i] = 0
+		}
+		for i := range sh.lvisit {
+			sh.lvisit[i] = 0
+		}
+		sh.epoch = 1
+	}
+}
+
+// expand pushes every left assigned to global box g (across all shards,
+// in shard order) onto the search queue.
+func (sh *Sharded) expand(g int32) {
+	for s := range sh.subs {
+		lr := sh.g2l[s][g]
+		if lr < 0 {
+			continue
+		}
+		for _, l2 := range sh.subs[s].AssignedLefts(int(lr)) {
+			if sh.lvisit[l2] != sh.epoch {
+				sh.lvisit[l2] = sh.epoch
+				sh.queue = append(sh.queue, l2)
+			}
+		}
+	}
+}
+
+// applyPath shifts assignments back along the global parent chain from a
+// box with spare true capacity, maintaining gload and the dirty window.
+func (sh *Sharded) applyPath(g int) {
+	r := g
+	for {
+		l := int(sh.rparent[r])
+		s := int(sh.leftShard[l])
+		sub := sh.subs[s]
+		lr := sh.Register(s, r)
+		cur := sub.Server(l)
+		sh.gload[r]++
+		sh.markCapDirty(r)
+		sub.ForceAssign(l, lr)
+		if cur == Unassigned {
+			return
+		}
+		prev := int(sh.l2g[s][cur])
+		sh.gload[prev]--
+		sh.markCapDirty(prev)
+		r = prev
+	}
+}
+
+// augmentOne runs one alternating BFS from an unmatched root over the
+// global graph (true capacities, cross-shard expansions) and applies the
+// augmenting path if a box with spare capacity is reached.
+func (sh *Sharded) augmentOne(adj Adjacency, root int) bool {
+	sh.beginSearch()
+	sh.queue = sh.queue[:0]
+	sh.queue = append(sh.queue, int32(root))
+	sh.lvisit[root] = sh.epoch
+	for head := 0; head < len(sh.queue); head++ {
+		l := sh.queue[head]
+		found := -1
+		adj.VisitServers(int(l), func(r int) bool {
+			if sh.rvisit[r] == sh.epoch {
+				return true
+			}
+			sh.rvisit[r] = sh.epoch
+			sh.rparent[r] = l
+			if sh.gload[r] < sh.gcap[r] {
+				found = r
+				return false
+			}
+			sh.expand(int32(r))
+			return true
+		})
+		if found >= 0 {
+			sh.applyPath(found)
+			return true
+		}
+	}
+	return false
+}
+
+// GlobalAugment is the short serial pass completing the round's matching:
+// it retries the merge spill plus every shard's unmatched frontier with
+// alternating searches over the *global* graph, whose paths may cross
+// shard boundaries (shard-local maximality does not imply global
+// maximality). On return no augmenting path exists from any returned
+// left, so the matching is maximum; the remainder is returned ascending.
+// The returned slice is coordinator-owned scratch (the DrainAssigned
+// convention): valid until the next GlobalAugment call only.
+func (sh *Sharded) GlobalAugment(adj Adjacency, spill []int, shardUnmatched [][]int) []int {
+	hinter, hinted := adj.(Hinted)
+	roots := sh.roots[:0]
+	roots = append(roots, spill...)
+	for _, um := range shardUnmatched {
+		roots = append(roots, um...)
+	}
+	sort.Ints(roots)
+	for len(roots) > 0 {
+		progressed := false
+		rest := roots[:0]
+		for _, l := range roots {
+			if hinted && hinter.ServerCountHint(l) == 0 {
+				rest = append(rest, l)
+				continue
+			}
+			if sh.augmentOne(adj, l) {
+				progressed = true
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		roots = rest
+		if !progressed {
+			break
+		}
+	}
+	sh.roots = roots[:0]
+	if len(roots) == 0 {
+		return nil
+	}
+	sh.outBuf = append(sh.outBuf[:0], roots...)
+	return sh.outBuf
+}
+
+// CanonicalizeDeficit is the sharded counterpart of
+// Matcher.CanonicalizeDeficit: it drives a deficient maximum matching to
+// the canonical covered set (no unmatched left can displace a matched
+// left with a larger id) with exchanges over the global graph. Because
+// the fixpoint is unique, the serial engine and every shard count agree
+// on exactly which requests stall.
+func (sh *Sharded) CanonicalizeDeficit(adj Adjacency, unmatched []int) []int {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(unmatched); i++ {
+			u := unmatched[i]
+			if sh.Server(u) != Unassigned {
+				continue
+			}
+			if v, ok := sh.displace(adj, u); ok {
+				if v >= 0 {
+					unmatched[i] = v
+				} else {
+					unmatched = append(unmatched[:i], unmatched[i+1:]...)
+					i--
+				}
+				changed = true
+			}
+		}
+		if changed {
+			sort.Ints(unmatched)
+		}
+	}
+	return unmatched
+}
+
+// displace mirrors Matcher.displace over the global graph: BFS from the
+// unmatched root, stop at the first reached assigned left with a larger
+// id, unassign it, and shift the path.
+func (sh *Sharded) displace(adj Adjacency, root int) (int, bool) {
+	if hinter, ok := adj.(Hinted); ok && hinter.ServerCountHint(root) == 0 {
+		return -1, false
+	}
+	sh.beginSearch()
+	sh.queue = sh.queue[:0]
+	sh.queue = append(sh.queue, int32(root))
+	sh.lvisit[root] = sh.epoch
+	for head := 0; head < len(sh.queue); head++ {
+		l := sh.queue[head]
+		victim, server := -1, -1
+		adj.VisitServers(int(l), func(r int) bool {
+			if sh.rvisit[r] == sh.epoch {
+				return true
+			}
+			sh.rvisit[r] = sh.epoch
+			sh.rparent[r] = l
+			if sh.gload[r] < sh.gcap[r] {
+				server = r
+				return false
+			}
+			for s := range sh.subs {
+				lr := sh.g2l[s][r]
+				if lr < 0 {
+					continue
+				}
+				for _, l2 := range sh.subs[s].AssignedLefts(int(lr)) {
+					if sh.lvisit[l2] == sh.epoch {
+						continue
+					}
+					sh.lvisit[l2] = sh.epoch
+					if int(l2) > root {
+						victim, server = int(l2), r
+						return false
+					}
+					sh.queue = append(sh.queue, l2)
+				}
+			}
+			return true
+		})
+		if server >= 0 {
+			if victim >= 0 {
+				vs := int(sh.leftShard[victim])
+				sh.subs[vs].Unassign(victim)
+				sh.gload[server]--
+				sh.markCapDirty(server)
+			}
+			sh.applyPath(server)
+			return victim, true
+		}
+	}
+	return -1, false
+}
+
+// HallViolator extracts the Lemma 1 obstruction certificate from the
+// final unmatched set: alternating reachability over the global graph.
+// The reachable region is invariant across maximum matchings
+// (Dulmage–Mendelsohn), so the certificate matches the serial engine's
+// bit for bit.
+func (sh *Sharded) HallViolator(adj Adjacency, unmatched []int) *Violator {
+	if len(unmatched) == 0 {
+		return nil
+	}
+	sh.beginSearch()
+	sh.queue = sh.queue[:0]
+	sh.reached = sh.reached[:0]
+	for _, l := range unmatched {
+		if sh.lvisit[l] != sh.epoch {
+			sh.lvisit[l] = sh.epoch
+			sh.queue = append(sh.queue, int32(l))
+		}
+	}
+	for head := 0; head < len(sh.queue); head++ {
+		l := sh.queue[head]
+		adj.VisitServers(int(l), func(r int) bool {
+			if sh.rvisit[r] == sh.epoch {
+				return true
+			}
+			sh.rvisit[r] = sh.epoch
+			sh.reached = append(sh.reached, int32(r))
+			sh.expand(int32(r))
+			return true
+		})
+	}
+	v := &Violator{
+		Lefts:  make([]int, len(sh.queue)),
+		Rights: make([]int, len(sh.reached)),
+	}
+	for i, l := range sh.queue {
+		v.Lefts[i] = int(l)
+	}
+	sort.Ints(v.Lefts)
+	for i, r := range sh.reached {
+		v.Rights[i] = int(r)
+		v.Slots += sh.gcap[r]
+	}
+	sort.Ints(v.Rights)
+	return v
+}
+
+// SetCapacity changes global box g's capacity between rounds. Lowering
+// below the current true load evicts assigned lefts — highest shard
+// first, list tails first, the same deterministic rule Merge uses — and
+// the victims re-enter their shards' dirty queues for the next round's
+// augmentation. Returns the number of evictions.
+func (sh *Sharded) SetCapacity(g int, c int64) int {
+	if c < 0 {
+		panic("bipartite: negative capacity")
+	}
+	sh.gcap[g] = c
+	sh.markCapDirty(g)
+	evicted := 0
+	for s := len(sh.subs) - 1; s >= 0 && sh.gload[g] > c; s-- {
+		lr := sh.g2l[s][g]
+		if lr < 0 {
+			continue
+		}
+		sub := sh.subs[s]
+		for sh.gload[g] > c {
+			lefts := sub.AssignedLefts(int(lr))
+			if len(lefts) == 0 {
+				break
+			}
+			sub.Unassign(int(lefts[len(lefts)-1]))
+			sh.gload[g]--
+			evicted++
+		}
+	}
+	// Local capacity views are not touched here: g sits in the dirty
+	// window, so RefreshCapacities re-derives every shard's view before
+	// the next parallel stage — and nothing matches in between.
+	return evicted
+}
+
+// VerifyLoads cross-checks the global load table against the sub-matchers
+// (paranoid mode): every box's true load must equal the sum of its
+// per-shard loads and respect capacity.
+func (sh *Sharded) VerifyLoads() error {
+	for g := range sh.gcap {
+		sum := sh.sumLoads(g)
+		if sum != sh.gload[g] {
+			return fmt.Errorf("box %d: global load %d != shard sum %d", g, sh.gload[g], sum)
+		}
+		if sum > sh.gcap[g] {
+			return fmt.Errorf("box %d over capacity: %d > %d", g, sum, sh.gcap[g])
+		}
+	}
+	return nil
+}

@@ -47,18 +47,36 @@ type availEvent struct {
 // the static allocation, define the server sets B(x) of Section 2.2. The
 // production implementation is indexedAvailability; naiveAvailability is
 // the retained linear-scan reference the differential tests pin it to.
+//
+// Both stores are shard-aware: stripes partition across shards by
+// stripe mod S, and every mutable structure a shard's expiry touches
+// (free lists, key maps, expiry rings, event logs) is per-shard, so the
+// sharded engine can run expireShard concurrently for distinct shards
+// while adds and retires stay serial. With one shard the layout and
+// behavior are exactly the historical serial store.
 type availabilityStore interface {
+	// setShards partitions the store into S stripe shards (call once,
+	// before any add). translate maps (shard, box) to the sharded
+	// matcher's shard-local right id so visitLocal can emit pre-translated
+	// ids; nil leaves local ids unresolved (-1).
+	setShards(S int, translate func(shard int, box int32) int32)
 	// add records a new cache entry for stripe st.
 	add(st video.StripeID, e entry)
 	// expire drops every entry whose serving window has closed at the
 	// given round (start < round−T).
 	expire(round int)
+	// expireShard is expire restricted to one stripe shard; distinct
+	// shards may run concurrently.
+	expireShard(round, shard int)
 	// retire freezes all entries backed by request slot req at final
 	// progress final (each entry freezes at final−lag).
 	retire(st video.StripeID, req int32, final int32)
 	// visit calls fn for every entry of st whose box is not exclude and
 	// whose progress exceeds need, stopping early if fn returns false.
 	visit(st video.StripeID, exclude int32, need int32, reqProgress []int32, fn func(right int) bool)
+	// visitLocal is visit with each box's cached shard-local right id
+	// (-1 when no translator resolved it at add time).
+	visitLocal(st video.StripeID, exclude int32, need int32, reqProgress []int32, fn func(right int, local int32) bool)
 	// canServe reports whether box has an entry for st with progress
 	// beyond need.
 	canServe(st video.StripeID, box int32, need int32, reqProgress []int32) bool
@@ -77,6 +95,9 @@ type availabilityStore interface {
 	// drainEvents appends the (stripe, box) freeze/expiry events recorded
 	// since the last drain and clears the log. Keys may repeat.
 	drainEvents(dst []availEvent) []availEvent
+	// drainEventsShard drains only the given shard's event log; distinct
+	// shards may drain concurrently.
+	drainEventsShard(shard int, dst []availEvent) []availEvent
 }
 
 // indexedAvailability is the production store: intrusive per-stripe lists
@@ -85,21 +106,33 @@ type availabilityStore interface {
 // entries whose window actually closes — never the full catalog. All
 // linkage runs through one slab, so steady-state operation allocates
 // nothing per stripe.
+//
+// The slab and the per-stripe heads are global, but every entry belongs
+// to exactly one stripe shard (stripe mod numShards), and the structures
+// expiry mutates — free lists, key maps, expiry rings, event logs — are
+// per-shard, so concurrent expireShard calls for distinct shards touch
+// disjoint state (slab writes hit only the shard's own entries).
 type indexedAvailability struct {
-	T    int
-	slab []idxEntry
-	free []int32
+	T         int
+	numShards int
+	slab      []idxEntry
 
-	byStripe  []int32          // per stripe: head of the live-entry list, −1 empty
-	liveCount []int32          // per stripe: live entries
-	byKey     map[uint64]int32 // (stripe, box) → head of same-key chain
-	ring      [][]int32        // entry ids bucketed by start mod len(ring)
-	reqLinks  [][2]int32       // per request slot: backing entry ids or −1
+	byStripe  []int32            // per stripe: head of the live-entry list, −1 empty
+	liveCount []int32            // per stripe: live entries
+	reqLinks  [][2]int32         // per request slot: backing entry ids or −1
+	frees     [][]int32          // per shard: slab free list
+	byKeys    []map[uint64]int32 // per shard: (stripe, box) → head of same-key chain
+	rings     [][][]int32        // per shard: entry ids bucketed by start mod ring length
+	eventLogs [][]availEvent     // per shard
+
+	// translate resolves (shard, box) to the sharded matcher's local right
+	// id at add time, caching it in the entry so hot visits skip the
+	// translation map. Nil outside the sharded engine.
+	translate func(shard int, box int32) int32
 
 	// logEvents enables the freeze/expiry log; the engine turns it on for
 	// event-driven invalidation (sweep modes never drain, so it stays off).
 	logEvents bool
-	events    []availEvent
 }
 
 // availKey packs a (stripe, box) pair into one map key.
@@ -113,6 +146,7 @@ type idxEntry struct {
 	stripe     video.StripeID
 	next, prev int32 // intrusive per-stripe live list
 	nextKey    int32 // next entry id with the same (stripe, box), or −1
+	boxLocal   int32 // shard-local right id of box (−1 when unresolved)
 }
 
 // newIndexedAvailability sizes the store for a catalog. The ring needs
@@ -124,45 +158,69 @@ func newIndexedAvailability(numStripes, T int) *indexedAvailability {
 		T:         T,
 		byStripe:  make([]int32, numStripes),
 		liveCount: make([]int32, numStripes),
-		byKey:     make(map[uint64]int32),
-		ring:      make([][]int32, T+4),
 	}
 	for st := range ix.byStripe {
 		ix.byStripe[st] = -1
 	}
+	ix.setShards(1, nil)
 	return ix
 }
 
+func (ix *indexedAvailability) setShards(S int, translate func(shard int, box int32) int32) {
+	ix.numShards = S
+	ix.translate = translate
+	ix.frees = make([][]int32, S)
+	ix.byKeys = make([]map[uint64]int32, S)
+	ix.rings = make([][][]int32, S)
+	ix.eventLogs = make([][]availEvent, S)
+	for s := 0; s < S; s++ {
+		ix.byKeys[s] = make(map[uint64]int32)
+		ix.rings[s] = make([][]int32, ix.T+4)
+	}
+}
+
+// shardOf maps a stripe to its owning shard.
+func (ix *indexedAvailability) shardOf(st video.StripeID) int {
+	return int(st) % ix.numShards
+}
+
 func (ix *indexedAvailability) add(st video.StripeID, e entry) {
+	sh := ix.shardOf(st)
 	var id int32
-	if n := len(ix.free); n > 0 {
-		id = ix.free[n-1]
-		ix.free = ix.free[:n-1]
+	if free := ix.frees[sh]; len(free) > 0 {
+		id = free[len(free)-1]
+		ix.frees[sh] = free[:len(free)-1]
 	} else {
 		id = int32(len(ix.slab))
 		ix.slab = append(ix.slab, idxEntry{})
 	}
 	key := availKey(st, e.box)
 	nextKey := int32(-1)
-	if prev, ok := ix.byKey[key]; ok {
+	if prev, ok := ix.byKeys[sh][key]; ok {
 		nextKey = prev
 	}
-	ix.byKey[key] = id
+	ix.byKeys[sh][key] = id
 	head := ix.byStripe[st]
+	local := int32(-1)
+	if ix.translate != nil {
+		local = ix.translate(sh, e.box)
+	}
 	ix.slab[id] = idxEntry{
-		entry:   e,
-		stripe:  st,
-		next:    head,
-		prev:    -1,
-		nextKey: nextKey,
+		entry:    e,
+		stripe:   st,
+		next:     head,
+		prev:     -1,
+		nextKey:  nextKey,
+		boxLocal: local,
 	}
 	if head >= 0 {
 		ix.slab[head].prev = id
 	}
 	ix.byStripe[st] = id
 	ix.liveCount[st]++
-	bucket := int(e.start) % len(ix.ring)
-	ix.ring[bucket] = append(ix.ring[bucket], id)
+	ring := ix.rings[sh]
+	bucket := int(e.start) % len(ring)
+	ring[bucket] = append(ring[bucket], id)
 	if e.req >= 0 {
 		ix.linkReq(e.req, id)
 	}
@@ -196,21 +254,30 @@ func (ix *indexedAvailability) unlinkReq(req, id int32) {
 }
 
 func (ix *indexedAvailability) expire(round int) {
+	for sh := 0; sh < ix.numShards; sh++ {
+		ix.expireShard(round, sh)
+	}
+}
+
+func (ix *indexedAvailability) expireShard(round, shard int) {
 	start := round - ix.T - 1
 	if start < 1 {
 		return
 	}
-	bucket := start % len(ix.ring)
-	ids := ix.ring[bucket]
-	ix.ring[bucket] = ids[:0]
+	ring := ix.rings[shard]
+	bucket := start % len(ring)
+	ids := ring[bucket]
+	ring[bucket] = ids[:0]
 	for _, id := range ids {
-		ix.remove(id)
+		ix.remove(shard, id)
 	}
 }
 
 // remove unlinks entry id from the stripe list, the key chain, and its
-// backing request, and returns the slab slot to the free list.
-func (ix *indexedAvailability) remove(id int32) {
+// backing request, and returns the slab slot to the shard's free list.
+// Every structure touched belongs to the entry's stripe shard, so removes
+// for distinct shards may run concurrently.
+func (ix *indexedAvailability) remove(shard int, id int32) {
 	e := &ix.slab[id]
 	// Stripe list: unlink.
 	if e.prev >= 0 {
@@ -224,11 +291,12 @@ func (ix *indexedAvailability) remove(id int32) {
 	ix.liveCount[e.stripe]--
 	// Key chain.
 	key := availKey(e.stripe, e.box)
-	if head := ix.byKey[key]; head == id {
+	byKey := ix.byKeys[shard]
+	if head := byKey[key]; head == id {
 		if e.nextKey < 0 {
-			delete(ix.byKey, key)
+			delete(byKey, key)
 		} else {
-			ix.byKey[key] = e.nextKey
+			byKey[key] = e.nextKey
 		}
 	} else {
 		for cur := head; cur >= 0; cur = ix.slab[cur].nextKey {
@@ -242,10 +310,10 @@ func (ix *indexedAvailability) remove(id int32) {
 		ix.unlinkReq(e.req, id)
 	}
 	if ix.logEvents {
-		ix.events = append(ix.events, availEvent{stripe: e.stripe, box: e.box})
+		ix.eventLogs[shard] = append(ix.eventLogs[shard], availEvent{stripe: e.stripe, box: e.box})
 	}
 	ix.slab[id] = idxEntry{}
-	ix.free = append(ix.free, id)
+	ix.frees[shard] = append(ix.frees[shard], id)
 }
 
 func (ix *indexedAvailability) retire(_ video.StripeID, req int32, final int32) {
@@ -262,7 +330,8 @@ func (ix *indexedAvailability) retire(_ video.StripeID, req int32, final int32) 
 		e.req = -1
 		links[i] = -1
 		if ix.logEvents {
-			ix.events = append(ix.events, availEvent{stripe: e.stripe, box: e.box})
+			sh := ix.shardOf(e.stripe)
+			ix.eventLogs[sh] = append(ix.eventLogs[sh], availEvent{stripe: e.stripe, box: e.box})
 		}
 	}
 }
@@ -278,8 +347,19 @@ func (ix *indexedAvailability) visit(st video.StripeID, exclude int32, need int3
 	}
 }
 
+func (ix *indexedAvailability) visitLocal(st video.StripeID, exclude int32, need int32, reqProgress []int32, fn func(right int, local int32) bool) {
+	for id := ix.byStripe[st]; id >= 0; id = ix.slab[id].next {
+		e := &ix.slab[id]
+		if e.box != exclude && entryChunks(&e.entry, reqProgress) > need {
+			if !fn(int(e.box), e.boxLocal) {
+				return
+			}
+		}
+	}
+}
+
 func (ix *indexedAvailability) canServe(st video.StripeID, box int32, need int32, reqProgress []int32) bool {
-	id, ok := ix.byKey[availKey(st, box)]
+	id, ok := ix.byKeys[ix.shardOf(st)][availKey(st, box)]
 	if !ok {
 		return false
 	}
@@ -292,7 +372,7 @@ func (ix *indexedAvailability) canServe(st video.StripeID, box int32, need int32
 }
 
 func (ix *indexedAvailability) hasFull(st video.StripeID, box int32, full int32) bool {
-	id, ok := ix.byKey[availKey(st, box)]
+	id, ok := ix.byKeys[ix.shardOf(st)][availKey(st, box)]
 	if !ok {
 		return false
 	}
@@ -308,7 +388,7 @@ func (ix *indexedAvailability) hasFull(st video.StripeID, box int32, full int32)
 func (ix *indexedAvailability) live(st video.StripeID) int { return int(ix.liveCount[st]) }
 
 func (ix *indexedAvailability) margin(st video.StripeID, box int32, need int32, reqProgress []int32) (hasLive bool, bestFrozen int32, ok bool) {
-	id, found := ix.byKey[availKey(st, box)]
+	id, found := ix.byKeys[ix.shardOf(st)][availKey(st, box)]
 	if !found {
 		return false, 0, false
 	}
@@ -328,7 +408,14 @@ func (ix *indexedAvailability) margin(st video.StripeID, box int32, need int32, 
 }
 
 func (ix *indexedAvailability) drainEvents(dst []availEvent) []availEvent {
-	dst = append(dst, ix.events...)
-	ix.events = ix.events[:0]
+	for sh := 0; sh < ix.numShards; sh++ {
+		dst = ix.drainEventsShard(sh, dst)
+	}
+	return dst
+}
+
+func (ix *indexedAvailability) drainEventsShard(shard int, dst []availEvent) []availEvent {
+	dst = append(dst, ix.eventLogs[shard]...)
+	ix.eventLogs[shard] = ix.eventLogs[shard][:0]
 	return dst
 }

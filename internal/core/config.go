@@ -111,6 +111,13 @@ type Config struct {
 	// The reference path for differential tests and ablations; production
 	// runs leave it false.
 	SweepRevalidation bool
+	// Shards partitions the round's hot stages (expiry, targeted
+	// invalidation, certificate rechecks, matching) across this many
+	// concurrent shards keyed by stripe group (stripe mod Shards). The
+	// deterministic merge phase makes StepResult — including obstruction
+	// certificates — bit-identical at every shard count, so Shards is a
+	// pure throughput knob. 0 or 1 selects the serial engine.
+	Shards int
 	// SerialAugment selects the matcher's retained per-root augmentation
 	// reference instead of blocking-flow batch phases. Both reach a
 	// maximum matching every round (equal cardinality, possibly different
@@ -133,6 +140,9 @@ func (cfg *Config) validate() ([]int64, error) {
 	}
 	if cfg.Mu < 1 {
 		return nil, fmt.Errorf("core: µ=%v must be at least 1", cfg.Mu)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("core: shards=%d must be non-negative", cfg.Shards)
 	}
 	cat := cfg.Alloc.Catalog()
 	caps := make([]int64, n)

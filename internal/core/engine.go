@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/bipartite"
 	"repro/internal/video"
 )
 
@@ -27,7 +28,11 @@ func (s *System) Step(gen Generator) (StepResult, error) {
 	s.round++
 	res := StepResult{Round: s.round}
 	s.tracker.BeginRound(s.round)
-	s.avail.expire(s.round)
+	if s.sharded != nil {
+		s.runShards(func(sh int) { s.avail.expireShard(s.round, sh) })
+	} else {
+		s.avail.expire(s.round)
+	}
 
 	// Retire completed requests (progress reached T). retireRequest
 	// swap-removes the current slot, so only advance on survivors.
@@ -74,46 +79,70 @@ func (s *System) Step(gen Generator) (StepResult, error) {
 	// flagged; the sweep runs under Config.NaiveAvailability and while a
 	// stall episode keeps certificates unreliable (see invalidation.go).
 	adj := adjacency{s}
-	if s.eventDriven && !s.needSweep {
-		s.invalidateTargeted(adj)
+	var unmatched []int
+	if s.sharded != nil {
+		unmatched = s.matchSharded()
+		res.Matched = s.sharded.MatchedCount()
 	} else {
-		if s.eventDriven {
-			s.discardInvalidationBacklog()
+		if s.eventDriven && !s.needSweep {
+			s.invalidateTargeted(adj)
+		} else {
+			if s.eventDriven {
+				s.discardInvalidationBacklog()
+			}
+			s.matcher.Revalidate(adj)
 		}
-		s.matcher.Revalidate(adj)
+		unmatched = s.matcher.AugmentAll(adj)
+		res.Matched = s.matcher.MatchedCount()
 	}
-	unmatched := s.matcher.AugmentAll(adj)
-	res.Matched = s.matcher.MatchedCount()
 	res.Unmatched = len(unmatched)
 
 	if len(unmatched) > 0 {
-		res.Obstruction = s.recordObstruction(adj)
+		res.Obstruction = s.recordObstruction(adj, unmatched)
 		if s.cfg.Failure == FailStop {
 			s.failed = true
 			s.metrics.failRound = s.round
 			return res, nil
 		}
 		s.metrics.stalls += int64(len(unmatched))
+		// Rewrite the deficient maximum matching to the canonical covered
+		// set (unique fixpoint, see bipartite.CanonicalizeDeficit): the
+		// serial engine and every shard count then agree on exactly which
+		// requests stall, which is what keeps whole FailStall trajectories
+		// — not just per-round counts — shard-invariant.
+		if s.sharded != nil {
+			s.sharded.CanonicalizeDeficit(adj, unmatched)
+		} else {
+			s.matcher.CanonicalizeDeficit(adj, unmatched)
+		}
 	}
 
 	// Verify while edges still reflect matching-time possession; the
 	// progress update below legitimately stales edges for the next round
 	// (Revalidate repairs them at the top of the next Step).
 	if s.cfg.Paranoid {
-		if err := s.matcher.Verify(adj); err != nil {
+		if err := s.verifyMatching(adj); err != nil {
 			return res, fmt.Errorf("core: round %d matcher corrupt: %w", s.round, err)
 		}
 	}
 
 	// Matched requests advance one chunk.
-	for _, slot := range s.activeList {
-		if s.matcher.Server(int(slot)) != -1 {
-			s.reqProgress[slot]++
+	if s.sharded != nil {
+		s.advanceProgressSharded()
+	} else {
+		for _, slot := range s.activeList {
+			if s.matcher.Server(int(slot)) != -1 {
+				s.reqProgress[slot]++
+			}
 		}
 	}
 
 	if s.eventDriven {
-		s.refreshAssignmentCertificates(res.Unmatched)
+		if s.sharded != nil {
+			s.refreshAssignmentCertificatesSharded(res.Unmatched)
+		} else {
+			s.refreshAssignmentCertificates(res.Unmatched)
+		}
 	}
 
 	s.metrics.observeRound(s, res)
@@ -279,8 +308,16 @@ func (s *System) planRelayedPoor(b int32, v video.ID, preloadIdx int) int {
 }
 
 // recordObstruction extracts and records the Hall-violator certificate.
-func (s *System) recordObstruction(adj adjacency) *Obstruction {
-	v := s.matcher.HallViolator(adj)
+// The alternating-reachable region is invariant across maximum matchings
+// (Dulmage–Mendelsohn), so the serial and sharded extractions agree bit
+// for bit.
+func (s *System) recordObstruction(adj adjacency, unmatched []int) *Obstruction {
+	var v *bipartite.Violator
+	if s.sharded != nil {
+		v = s.sharded.HallViolator(adj, unmatched)
+	} else {
+		v = s.matcher.HallViolator(adj)
+	}
 	if v == nil {
 		return nil
 	}

@@ -1,0 +1,294 @@
+package core
+
+// Sharded round engine (Config.Shards > 1).
+//
+// Stripes are partitioned statically across shards (stripe mod Shards), so
+// requests — whose edges only ever reach boxes possessing their stripe —
+// partition with them. Each shard owns a bipartite sub-matcher in a
+// shard-local right-id space (see bipartite.Sharded) plus the lane state
+// below: its slice of the recheck ring, event scratch, and an adjacency
+// that translates the Section 2.2 graph into local ids. The hot stages of
+// a round (expiry, targeted invalidation, certificate rechecks, blocking-
+// flow augmentation, progress) run one goroutine per shard with no shared
+// mutable state; box capacity — the one cross-shard resource — is resolved
+// afterwards by the deterministic Merge + GlobalAugment serial tail, so
+// StepResult is bit-identical at every shard count and independent of
+// GOMAXPROCS (see the sharded-vs-serial lockstep differential).
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bipartite"
+)
+
+// lane is one shard's private engine state.
+type lane struct {
+	id  int
+	sys *System
+
+	// Per-shard half of the event-driven invalidation state; exactly the
+	// serial engine's recheckRing/availEvents/assignedLog/candScratch,
+	// restricted to the lane's stripes (see invalidation.go).
+	recheckRing [][]int32
+	availEvents []availEvent
+	assignedLog []int32
+	candScratch []int32
+
+	// fnStack supports the visitLocal trampoline: the matcher's DFS
+	// re-enters VisitServers from inside callbacks, so the active callback
+	// is a stack, not a slot. tramp is allocated once to keep the hot
+	// visit path free of per-call closures.
+	fnStack []func(right int) bool
+	tramp   func(box int, local int32) bool
+}
+
+func (ln *lane) init(s *System, id int) {
+	ln.id = id
+	ln.sys = s
+	ln.tramp = func(box int, local int32) bool {
+		if local < 0 {
+			local = int32(ln.sys.sharded.Register(ln.id, box))
+		}
+		return ln.fnStack[len(ln.fnStack)-1](int(local))
+	}
+}
+
+// shardAdjacency presents the Section 2.2 graph to one shard's sub-matcher
+// in the shard's local right-id space. Only lefts owned by the shard ever
+// reach it, so every translation stays within the lane.
+type shardAdjacency struct{ ln *lane }
+
+// VisitServers mirrors adjacency.VisitServers, emitting local right ids:
+// allocation holders translated through the shard's flat global→local
+// table (one array load each; Register materializes the right on first
+// touch — safe in the lane's own stage since only the owning shard
+// mutates its tables), then swarm predecessors via the store's
+// visitLocal (whose cached boxLocal makes the common case a straight
+// array read; -1 falls back to registration).
+func (a shardAdjacency) VisitServers(left int, fn func(right int) bool) {
+	ln := a.ln
+	s := ln.sys
+	slot := int32(left)
+	stripe := s.reqStripe[slot]
+	requester := s.reqBox[slot]
+	for _, b := range s.cfg.Alloc.ByStripe[stripe] {
+		if b != requester {
+			if !fn(s.sharded.Register(ln.id, int(b))) {
+				return
+			}
+		}
+	}
+	if s.cfg.DisableCacheServing {
+		return
+	}
+	ln.fnStack = append(ln.fnStack, fn)
+	s.avail.visitLocal(stripe, requester, s.reqProgress[slot], s.reqProgress, ln.tramp)
+	ln.fnStack = ln.fnStack[:len(ln.fnStack)-1]
+}
+
+// CanServe translates the local right back to its box and defers to the
+// global adjacency.
+func (a shardAdjacency) CanServe(left, right int) bool {
+	s := a.ln.sys
+	return adjacency{s}.CanServe(left, s.sharded.Global(a.ln.id, right))
+}
+
+// ServerCountHint implements bipartite.Hinted (global information only).
+func (a shardAdjacency) ServerCountHint(left int) int {
+	return adjacency{a.ln.sys}.ServerCountHint(left)
+}
+
+// StableEdge implements bipartite.Hinted on local right ids.
+func (a shardAdjacency) StableEdge(left, right int) bool {
+	s := a.ln.sys
+	return adjacency{s}.StableEdge(left, s.sharded.Global(a.ln.id, right))
+}
+
+// runShards runs fn(shard) concurrently for every shard and waits.
+// Goroutines are spawned per phase — at most a handful of phases per
+// round, so pool bookkeeping would cost more than it saves.
+func (s *System) runShards(fn func(sh int)) {
+	var wg sync.WaitGroup
+	wg.Add(s.numShards)
+	for sh := 0; sh < s.numShards; sh++ {
+		go func() {
+			defer wg.Done()
+			fn(sh)
+		}()
+	}
+	wg.Wait()
+}
+
+// matchSharded runs the round's matching stages on the sharded engine:
+// every shard refreshes its capacity views, repairs flagged assignments
+// (or sweeps), and augments over its own sub-graph in parallel; then the
+// serial tail merges per-shard loads in fixed shard order, evicts
+// oversubscribed claims deterministically, and completes the matching to
+// a global maximum with cross-shard alternating paths. Returns the final
+// unmatched lefts (ascending).
+func (s *System) matchSharded() []int {
+	targeted := s.eventDriven && !s.needSweep
+	s.runShards(func(sh int) {
+		ln := &s.lanes[sh]
+		s.sharded.RefreshCapacities(sh)
+		adj := shardAdjacency{ln}
+		if targeted {
+			s.invalidateTargetedShard(ln, adj)
+		} else {
+			if s.eventDriven {
+				s.discardInvalidationBacklogShard(ln)
+			}
+			s.sharded.Sub(sh).Revalidate(adj)
+		}
+		s.shardUnmatched[sh] = s.sharded.Sub(sh).AugmentAll(adj)
+	})
+	spill := s.sharded.Merge()
+	return s.sharded.GlobalAugment(adjacency{s}, spill, s.shardUnmatched)
+}
+
+// invalidateTargetedShard is invalidateTargeted restricted to one lane:
+// same candidate gathering (due rechecks + the lane's freeze/expiry
+// events), same batch invalidation, same certificate re-derivation — over
+// the lane's sub-matcher and ring. The union over lanes covers exactly
+// the candidates the serial engine gathers.
+func (s *System) invalidateTargetedShard(ln *lane, adj shardAdjacency) {
+	bucket := s.round % len(ln.recheckRing)
+	due := ln.recheckRing[bucket]
+	ln.recheckRing[bucket] = due[:0]
+	cand := append(ln.candScratch[:0], due...)
+	ln.availEvents = s.avail.drainEventsShard(ln.id, ln.availEvents[:0])
+	sub := s.sharded.Sub(ln.id)
+	for _, ev := range ln.availEvents {
+		lr := s.sharded.Local(ln.id, int(ev.box))
+		if lr < 0 {
+			continue
+		}
+		for _, l := range sub.AssignedLefts(lr) {
+			if s.reqStripe[l] == ev.stripe {
+				cand = append(cand, l)
+			}
+		}
+	}
+	sub.InvalidateBatch(adj, cand)
+	prev := int32(-1)
+	for _, l := range cand { // sorted and deduped by InvalidateBatch's ordering
+		if l == prev {
+			continue
+		}
+		prev = l
+		s.scheduleCertificateShard(ln, int(l))
+	}
+	ln.candScratch = cand
+}
+
+// scheduleCertificateShard mirrors scheduleCertificate on a lane's ring.
+// Safe in the lane's parallel stage: it reads the store's same-stripe
+// index (owned by this shard, quiescent during the stage) and writes only
+// the lane's ring.
+func (s *System) scheduleCertificateShard(ln *lane, l int) {
+	lr := s.sharded.Sub(ln.id).Server(l)
+	if lr < 0 {
+		return
+	}
+	r := s.sharded.Global(ln.id, lr)
+	slot := int32(l)
+	st := s.reqStripe[slot]
+	if s.cfg.Alloc.Stores(r, st) {
+		return
+	}
+	need := s.reqProgress[slot]
+	hasLive, bestFrozen, ok := s.avail.margin(st, int32(r), need, s.reqProgress)
+	switch {
+	case !ok:
+		s.scheduleRecheckShard(ln, slot, 1)
+	case hasLive:
+		// Live margin: nothing to watch until an event fires.
+	default:
+		s.scheduleRecheckShard(ln, slot, int(bestFrozen-need))
+	}
+}
+
+// scheduleRecheckShard is scheduleRecheck on a lane's ring.
+func (s *System) scheduleRecheckShard(ln *lane, l int32, delta int) {
+	bucket := (s.round + delta) % len(ln.recheckRing)
+	ln.recheckRing[bucket] = append(ln.recheckRing[bucket], l)
+}
+
+// discardInvalidationBacklogShard is discardInvalidationBacklog for one
+// lane (a sweep round supersedes the lane's targeted work).
+func (s *System) discardInvalidationBacklogShard(ln *lane) {
+	bucket := s.round % len(ln.recheckRing)
+	ln.recheckRing[bucket] = ln.recheckRing[bucket][:0]
+	ln.availEvents = s.avail.drainEventsShard(ln.id, ln.availEvents[:0])
+}
+
+// certMode is the serially decided disposition of a round's assignment
+// logs (see refreshAssignmentCertificates for the episode logic).
+type certMode int
+
+const (
+	certsDiscard     certMode = iota // stall round: drain logs, keep sweeping
+	certsRebuild                     // first clean round after stalls: rebuild all
+	certsIncremental                 // steady state: certify new assignments only
+)
+
+// refreshAssignmentCertificatesSharded applies refreshAssignmentCertificates
+// shard-by-shard: the sweep-episode transition is decided serially, then
+// every lane drains its own assignment log and re-derives certificates in
+// parallel.
+func (s *System) refreshAssignmentCertificatesSharded(unmatched int) {
+	mode := certsIncremental
+	if unmatched > 0 {
+		s.needSweep = true
+		mode = certsDiscard
+	} else if s.needSweep {
+		s.needSweep = false
+		mode = certsRebuild
+	}
+	s.runShards(func(sh int) {
+		ln := &s.lanes[sh]
+		sub := s.sharded.Sub(sh)
+		ln.assignedLog = sub.DrainAssigned(ln.assignedLog[:0])
+		switch mode {
+		case certsRebuild:
+			for _, l := range sub.ActiveLefts() {
+				s.scheduleCertificateShard(ln, int(l))
+			}
+		case certsIncremental:
+			for _, l := range ln.assignedLog {
+				s.scheduleCertificateShard(ln, int(l))
+			}
+		}
+	})
+}
+
+// advanceProgressSharded advances matched requests one chunk, each shard
+// walking its own sub-matcher's active lefts (reqProgress writes are
+// confined to the owning shard; readers in this phase only touch their
+// own lane's slots).
+func (s *System) advanceProgressSharded() {
+	s.runShards(func(sh int) {
+		sub := s.sharded.Sub(sh)
+		for _, l := range sub.ActiveLefts() {
+			if sub.Server(int(l)) != bipartite.Unassigned {
+				s.reqProgress[l]++
+			}
+		}
+	})
+}
+
+// verifyMatching is the paranoid-mode check: per-shard sub-matcher
+// consistency against the lane adjacency, then the global load table
+// against true capacities.
+func (s *System) verifyMatching(adj adjacency) error {
+	if s.sharded == nil {
+		return s.matcher.Verify(adj)
+	}
+	for sh := 0; sh < s.numShards; sh++ {
+		if err := s.sharded.Sub(sh).Verify(shardAdjacency{&s.lanes[sh]}); err != nil {
+			return fmt.Errorf("shard %d: %w", sh, err)
+		}
+	}
+	return s.sharded.VerifyLoads()
+}

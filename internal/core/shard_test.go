@@ -1,0 +1,179 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// driveLockstep steps every system through the same seeded workload for
+// `rounds` rounds, applying the same deterministic capacity changes to
+// all of them, and fails on the first observable divergence from the
+// first system: StepResult (including the obstruction certificate, which
+// reflect.DeepEqual follows through the pointer), per-slot progress, and
+// the busy set. Returns the number of rounds with unmatched requests.
+func driveLockstep(t *testing.T, systems []*System, seed uint64, p float64, rounds int, capFlip bool) int {
+	t.Helper()
+	gens := make([]Generator, len(systems))
+	for i := range systems {
+		gens[i] = &uniformGen{rng: stats.NewRNG(seed), p: p}
+	}
+	ref := systems[0]
+	n := ref.NumBoxes()
+	origCap := ref.View().UploadSlots(0)
+	stallRounds := 0
+	for r := 1; r <= rounds; r++ {
+		if capFlip {
+			// Deterministic capacity churn: every few rounds one box loses
+			// most of its upload, a previously squeezed box recovers.
+			if r%5 == 0 {
+				b := (r * 7) % n
+				for _, sys := range systems {
+					if err := sys.SetCapacity(b, 1); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if r%5 == 2 && r >= 5 {
+				b := ((r - 2) * 7) % n
+				for _, sys := range systems {
+					if err := sys.SetCapacity(b, origCap); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		var refRes StepResult
+		for i, sys := range systems {
+			res, err := sys.Step(gens[i])
+			if err != nil {
+				t.Fatalf("round %d system %d: %v", r, i, err)
+			}
+			if i == 0 {
+				refRes = res
+				continue
+			}
+			if !reflect.DeepEqual(res, refRes) {
+				t.Fatalf("round %d: step results diverge\nsystem 0: %+v\nsystem %d: %+v", r, refRes, i, res)
+			}
+			for _, slot := range ref.activeList {
+				if ref.reqProgress[slot] != sys.reqProgress[slot] {
+					t.Fatalf("round %d system %d: progress of slot %d diverges: %d vs %d",
+						r, i, slot, ref.reqProgress[slot], sys.reqProgress[slot])
+				}
+			}
+			for b := 0; b < n; b++ {
+				if ref.boxes[b].busy != sys.boxes[b].busy {
+					t.Fatalf("round %d system %d: busy state of box %d diverges", r, i, b)
+				}
+			}
+		}
+		if refRes.Unmatched > 0 {
+			stallRounds++
+		}
+		if ref.Failed() {
+			break
+		}
+	}
+	return stallRounds
+}
+
+// TestShardedSerialLockstep is the tentpole differential: the serial
+// engine and the sharded engine at 2, 4, and 7 shards must produce
+// bit-identical StepResults — counts, obstruction certificates, per-slot
+// progress, busy sets — over a FailStall workload that mixes admissions,
+// retirements, capacity changes, and stall rounds. Stall rounds are the
+// hard case (different maximum matchings cover different request subsets);
+// CanonicalizeDeficit pins all engines to the same canonical stall set.
+func TestShardedSerialLockstep(t *testing.T) {
+	mk := func(shards int) *System {
+		return buildHomogeneous(t, 43, 18, 1, 4, 9, 2, 0.8, 2.0, func(cfg *Config) {
+			cfg.Shards = shards
+			cfg.Failure = FailStall
+		})
+	}
+	systems := []*System{mk(1), mk(2), mk(4), mk(7)}
+	stalls := driveLockstep(t, systems, 1213, 0.8, 150, true)
+	if stalls == 0 {
+		t.Fatal("workload never stalled: the canonical-deficit comparison is untested")
+	}
+}
+
+// TestShardedFailStopObstruction pins the FailStop path: all shard counts
+// must stop at the same round with the same Hall-violator certificate
+// (the alternating-reachable region is matching-invariant).
+func TestShardedFailStopObstruction(t *testing.T) {
+	mk := func(shards int) *System {
+		return buildHomogeneous(t, 43, 18, 1, 4, 9, 2, 0.8, 2.0, func(cfg *Config) {
+			cfg.Shards = shards
+		})
+	}
+	systems := []*System{mk(1), mk(2), mk(4), mk(7)}
+	driveLockstep(t, systems, 1213, 0.8, 150, false)
+	if !systems[0].Failed() {
+		t.Fatal("workload never produced an obstruction: the certificate comparison is untested")
+	}
+	for i, sys := range systems {
+		if !sys.Failed() || sys.Round() != systems[0].Round() {
+			t.Fatalf("system %d: failed=%v round=%d, want failure at round %d",
+				i, sys.Failed(), sys.Round(), systems[0].Round())
+		}
+	}
+}
+
+// TestShardedPinsLockstep holds the existing differential pins shard-by-
+// shard: at a fixed shard count, each retained reference path (naive
+// availability, sweep revalidation, serial augmentation) must stay in
+// lockstep with the production path, exactly as the serial pins do.
+func TestShardedPinsLockstep(t *testing.T) {
+	pins := []struct {
+		name  string
+		tweak func(*Config)
+	}{
+		{"naive-availability", func(cfg *Config) { cfg.NaiveAvailability = true }},
+		{"sweep-revalidation", func(cfg *Config) { cfg.SweepRevalidation = true }},
+		{"serial-augment", func(cfg *Config) { cfg.SerialAugment = true }},
+	}
+	for _, pin := range pins {
+		t.Run(pin.name, func(t *testing.T) {
+			mk := func(tweak func(*Config)) *System {
+				return buildHomogeneous(t, 43, 18, 1, 4, 9, 2, 0.8, 2.0, func(cfg *Config) {
+					cfg.Shards = 4
+					cfg.Failure = FailStall
+					if tweak != nil {
+						tweak(cfg)
+					}
+				})
+			}
+			systems := []*System{mk(nil), mk(pin.tweak)}
+			driveLockstep(t, systems, 1213, 0.8, 120, true)
+		})
+	}
+}
+
+// TestShardedFlashCrowdSoak drives a contended flash-crowd workload on a
+// paranoid 8-shard system: the periodic bursts pile many same-video
+// requests onto few holders, maximizing cross-shard capacity contention in
+// Merge/GlobalAugment. Run under -race this is the concurrency soak for
+// the parallel phases.
+func TestShardedFlashCrowdSoak(t *testing.T) {
+	const n, d, c, T, k = 40, 2, 4, 12, 5
+	sys := buildHomogeneous(t, 77, n, d, c, T, k, 2.5, 1.3, func(cfg *Config) {
+		cfg.Failure = FailStall
+		cfg.Shards = 8
+	})
+	gen := &mixedGen{rng: stats.NewRNG(101)}
+	rounds := 600
+	if testing.Short() {
+		rounds = 150
+	}
+	for round := 0; round < rounds; round++ {
+		if _, err := sys.Step(gen); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if rep := sys.Report(); rep.CompletedViewings < 25 {
+		t.Errorf("soak completed only %d viewings", rep.CompletedViewings)
+	}
+}

@@ -50,6 +50,14 @@ type System struct {
 	round      int
 	failed     bool
 
+	// Sharded round engine (Config.Shards > 1): sharded replaces matcher —
+	// exactly one of the two is non-nil — and lanes carries the per-shard
+	// engine state (recheck rings, event scratch, adjacency). See shard.go.
+	sharded        *bipartite.Sharded
+	numShards      int
+	lanes          []lane
+	shardUnmatched [][]int // per-shard unmatched frontiers (scratch)
+
 	// Request slot arrays (index = matcher left ID).
 	reqStripe   []video.StripeID
 	reqStart    []int32
@@ -102,25 +110,54 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	cat := cfg.Alloc.Catalog()
 	n := cfg.Alloc.NumBoxes()
+	S := cfg.Shards
+	if S == 0 {
+		S = 1
+	}
 	s := &System{
 		cfg:         cfg,
 		cat:         cat,
 		n:           n,
-		matcher:     bipartite.NewMatcher(caps),
+		numShards:   S,
 		tracker:     swarm.NewTracker(cat.M, cat.T, cfg.Mu),
 		boxes:       make([]boxRec, n),
 		pendingRing: make([][]issuance, maxIssuanceDelay+1),
 	}
-	s.matcher.SerialAugment = cfg.SerialAugment
+	if S == 1 {
+		s.matcher = bipartite.NewMatcher(caps)
+		s.matcher.SerialAugment = cfg.SerialAugment
+	} else {
+		s.sharded = bipartite.NewSharded(caps, S)
+		s.lanes = make([]lane, S)
+		s.shardUnmatched = make([][]int, S)
+		for sh := 0; sh < S; sh++ {
+			s.sharded.Sub(sh).SerialAugment = cfg.SerialAugment
+			s.lanes[sh].init(s, sh)
+		}
+	}
 	if cfg.NaiveAvailability {
-		s.avail = newNaiveAvailability(cat.NumStripes(), cat.T)
+		na := newNaiveAvailability(cat.NumStripes(), cat.T)
+		na.setShards(S, nil)
+		s.avail = na
 	} else {
 		ix := newIndexedAvailability(cat.NumStripes(), cat.T)
+		if S > 1 {
+			ix.setShards(S, func(shard int, box int32) int32 {
+				return int32(s.sharded.Register(shard, int(box)))
+			})
+		}
 		if !cfg.SweepRevalidation {
 			ix.logEvents = true
 			s.eventDriven = true
-			s.recheckRing = make([][]int32, cat.T+2)
-			s.matcher.LogAssignments(true)
+			if S == 1 {
+				s.recheckRing = make([][]int32, cat.T+2)
+				s.matcher.LogAssignments(true)
+			} else {
+				for sh := 0; sh < S; sh++ {
+					s.lanes[sh].recheckRing = make([][]int32, cat.T+2)
+					s.sharded.Sub(sh).LogAssignments(true)
+				}
+			}
 		}
 		s.avail = ix
 	}
@@ -215,7 +252,11 @@ func (s *System) issueRequest(stripe video.StripeID, requester, viewer, mirror i
 	s.activeReqs++
 	s.posInActive[slot] = int32(len(s.activeList))
 	s.activeList = append(s.activeList, slot)
-	s.matcher.AddLeft(int(slot))
+	if s.sharded != nil {
+		s.sharded.AddLeft(int(slot), s.shardOf(stripe))
+	} else {
+		s.matcher.AddLeft(int(slot))
+	}
 	if !s.cfg.DisableCacheServing {
 		s.avail.add(stripe, entry{box: requester, start: int32(s.round), req: slot})
 		if mirror >= 0 {
@@ -231,7 +272,11 @@ func (s *System) issueRequest(stripe video.StripeID, requester, viewer, mirror i
 // entries, and releases the viewer when its last request finishes.
 func (s *System) retireRequest(slot int32) {
 	s.avail.retire(s.reqStripe[slot], slot, s.reqProgress[slot])
-	s.matcher.RemoveLeft(int(slot))
+	if s.sharded != nil {
+		s.sharded.RemoveLeft(int(slot))
+	} else {
+		s.matcher.RemoveLeft(int(slot))
+	}
 	s.reqActive[slot] = false
 	s.activeReqs--
 	// Swap-remove from the live list.
@@ -255,6 +300,45 @@ func (s *System) finishOne(viewer int32) {
 		s.markIdle(viewer)
 		s.metrics.completedViewings++
 	}
+}
+
+// shardOf maps a stripe to its owning shard (stripe mod Shards): requests
+// for a stripe only edge into boxes possessing it, so lefts partition
+// cleanly by stripe group.
+func (s *System) shardOf(st video.StripeID) int { return int(st) % s.numShards }
+
+// serverOf returns the global box serving request slot l, or -1.
+func (s *System) serverOf(l int) int {
+	if s.sharded != nil {
+		return s.sharded.Server(l)
+	}
+	return s.matcher.Server(l)
+}
+
+// SetCapacity changes box b's upload capacity to slots mid-run (failure
+// injection and the capacity-change rounds of the differential tests). The
+// value is the matcher slot capacity — relay reservations, if any, are the
+// caller's business. Lowering below the current load evicts assignments
+// deterministically; the victims re-enter the dirty queue and are
+// re-matched (or stall) on the next Step.
+func (s *System) SetCapacity(b int, slots int64) error {
+	if b < 0 || b >= s.n {
+		return fmt.Errorf("core: SetCapacity of unknown box %d", b)
+	}
+	if slots < 0 {
+		return fmt.Errorf("core: box %d capacity %d is negative", b, slots)
+	}
+	if slots > math.MaxInt32 {
+		return fmt.Errorf("core: box %d capacity %d slots overflows the box record", b, slots)
+	}
+	s.totalSlots += slots - int64(s.boxes[b].capSlots)
+	s.boxes[b].capSlots = int32(slots)
+	if s.sharded != nil {
+		s.sharded.SetCapacity(b, slots)
+	} else {
+		s.matcher.SetCapacity(b, slots)
+	}
+	return nil
 }
 
 // adjacency implements bipartite.Adjacency over the allocation and the

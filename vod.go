@@ -97,6 +97,13 @@ type Spec struct {
 	Resilient bool
 	// Trace records per-round statistics into the report.
 	Trace bool
+	// Shards runs the round's hot stages on this many concurrent shards
+	// (stripe mod Shards). Results are bit-identical at every shard count
+	// — seeded runs stay reproducible — so this is purely a throughput
+	// knob for large populations. 0 or 1 selects the serial engine; it is
+	// deliberately NOT defaulted to GOMAXPROCS so single-run experiments
+	// stay single-threaded unless asked.
+	Shards int
 	// Seed drives the random allocation (and nothing else).
 	Seed uint64
 }
@@ -191,6 +198,7 @@ func New(spec Spec) (*System, error) {
 		Mu:                  mu,
 		DisableCacheServing: spec.SourcingOnly,
 		TraceRounds:         spec.Trace,
+		Shards:              spec.Shards,
 	}
 	if spec.Resilient {
 		cfg.Failure = core.FailStall
