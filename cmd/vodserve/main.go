@@ -1,0 +1,135 @@
+// Command vodserve runs a video system as a long-lived serving daemon:
+// demands stream in over HTTP, rounds advance on request (POST /step) or
+// on a timer (-tick), and the full engine state can be checkpointed and
+// restored across restarts with bit-identical continuation.
+//
+// Examples:
+//
+//	vodserve -n 200 -u 1.5 -addr :8080                # manual stepping
+//	vodserve -n 200 -u 1.5 -tick 500ms                # one round per 500ms
+//	vodserve -restore state.ckpt -addr :8080          # resume a checkpoint
+//
+//	curl -X POST localhost:8080/demand -d '{"box":3,"video":0}'
+//	curl -X POST localhost:8080/step -d '{"rounds":10}'
+//	curl -X POST localhost:8080/checkpoint -d '{"path":"state.ckpt"}'
+//	curl localhost:8080/metrics
+//
+// The daemon defaults to resilient mode: an infeasible round produces an
+// obstruction certificate in /metrics and stalls the affected requests
+// instead of killing the server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	vod "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 100, "number of boxes")
+		u         = flag.Float64("u", 1.5, "normalized upload capacity (homogeneous)")
+		d         = flag.Float64("d", 4, "storage per box in videos")
+		c         = flag.Int("c", 0, "stripes per video (0 = derive from Theorem 1/2)")
+		k         = flag.Int("k", 4, "replicas per stripe")
+		duration  = flag.Int("T", 100, "video duration in rounds")
+		mu        = flag.Float64("mu", 1.2, "maximal swarm growth per round")
+		heteroP   = flag.Float64("hetero", 0, "poor-box fraction (0 = homogeneous); poor u=0.5, rich u=3.0")
+		uStar     = flag.Float64("ustar", 0, "deficiency threshold u* (activates relaying)")
+		shards    = flag.Int("shards", 0, "round-engine shards (0 = serial); bit-identical at any count")
+		seed      = flag.Uint64("seed", 1, "allocation seed")
+		resilient = flag.Bool("resilient", true, "stall through obstructions instead of halting")
+		addr      = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		tick      = flag.Duration("tick", 0, "auto-advance one round per interval (0 = step via POST /step only)")
+		restore   = flag.String("restore", "", "restore state from this checkpoint file (spec flags are ignored)")
+	)
+	flag.Parse()
+
+	// An explicitly set -mu survives the heterogeneous defaults (same
+	// rule as vodsim): only flags the user did not pass are defaulted.
+	muSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "mu" {
+			muSet = true
+		}
+	})
+
+	var (
+		sys      *vod.System
+		err      error
+		restored bool
+	)
+	if *restore != "" {
+		f, ferr := os.Open(*restore)
+		if ferr != nil {
+			log.Fatalf("vodserve: %v", ferr)
+		}
+		sys, err = vod.LoadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("vodserve: restore %s: %v", *restore, err)
+		}
+		restored = true
+	} else {
+		spec := vod.Spec{
+			Boxes:     *n,
+			Upload:    *u,
+			Storage:   *d,
+			Stripes:   *c,
+			Replicas:  *k,
+			Duration:  *duration,
+			Growth:    *mu,
+			Resilient: *resilient,
+			Shards:    *shards,
+			Seed:      *seed,
+		}
+		if *heteroP > 0 {
+			pop := vod.Bimodal(*n, 1-*heteroP, 3.0, 0.5, 2.0)
+			spec.Uploads = pop.Uploads
+			spec.Storages = pop.Storage
+			spec.UStar = *uStar
+			if spec.UStar == 0 {
+				spec.UStar = 1.5
+			}
+			if !muSet {
+				spec.Growth = 1.05
+			}
+		}
+		sys, err = vod.New(spec)
+		if err != nil {
+			log.Fatalf("vodserve: %v", err)
+		}
+	}
+
+	srv := serve.New(sys, restored)
+	spec := sys.Spec()
+	cat := sys.Catalog()
+	mode := "serial"
+	if spec.Shards > 1 {
+		mode = fmt.Sprintf("sharded-%d", spec.Shards)
+	}
+	log.Printf("vodserve: n=%d catalog m=%d c=%d T=%d µ=%.2f engine=%s round=%d restored=%v",
+		spec.Boxes, cat.M, cat.C, cat.T, spec.Growth, mode, sys.Round(), restored)
+
+	if *tick > 0 {
+		go func() {
+			for range time.Tick(*tick) {
+				if _, err := srv.StepRounds(1); err != nil {
+					log.Printf("vodserve: tick: %v", err)
+				}
+			}
+		}()
+		log.Printf("vodserve: auto-advancing one round per %v", *tick)
+	}
+
+	log.Printf("vodserve: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("vodserve: %v", err)
+	}
+}

@@ -54,6 +54,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// -hetero installs the heterogeneous defaults, but an explicitly set
+	// -mu must survive them: only flags the user did not pass are defaulted.
+	muSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "mu" {
+			muSet = true
+		}
+	})
+
 	mkSpec := func(allocSeed uint64) vod.Spec {
 		spec := vod.Spec{
 			Boxes:        *n,
@@ -77,7 +86,9 @@ func main() {
 			if spec.UStar == 0 {
 				spec.UStar = 1.5
 			}
-			spec.Growth = 1.05
+			if !muSet {
+				spec.Growth = 1.05
+			}
 		}
 		return spec
 	}
@@ -232,8 +243,9 @@ func runReplicas(mkSpec func(uint64) vod.Spec, mkGen func(uint64, float64) (vod.
 	}
 
 	cat := outcomes[0].cat
-	fmt.Printf("replicas: %d seeds (%d…%d), n=%d, catalog m=%d c=%d T=%d\n",
-		seeds, seed, seed+uint64(seeds)-1, mkSpec(seed).Boxes, cat.M, cat.C, cat.T)
+	headSpec := mkSpec(seed)
+	fmt.Printf("replicas: %d seeds (%d…%d), n=%d, catalog m=%d c=%d T=%d, µ=%.2f\n",
+		seeds, seed, seed+uint64(seeds)-1, headSpec.Boxes, cat.M, cat.C, cat.T, headSpec.Growth)
 	tbl := report.New("per-seed outcomes", "seed", "rounds", "admitted", "completed", "stalls", "util", "failed round")
 	survived := 0
 	var utilSum, completedSum float64

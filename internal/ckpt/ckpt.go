@@ -1,0 +1,279 @@
+// Package ckpt is the varint binary codec under the engine's
+// checkpoint/restore machinery (core.System.EncodeState and friends).
+// Writer and Reader are error-sticky: after the first failure every call
+// is a no-op and the error surfaces once at the end, so serialization
+// code reads as a flat field list instead of an error ladder. Integers
+// use unsigned varints (zig-zag for signed values), floats their IEEE
+// bits, so state dominated by small counters and -1 sentinels stays
+// compact even at millions of boxes.
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// maxSliceLen bounds decoded slice lengths so a corrupt or truncated
+// stream fails cleanly instead of attempting a huge allocation.
+const maxSliceLen = 1 << 32
+
+// Writer serializes values to an underlying stream.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush flushes buffered output and returns the first error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// U64 writes an unsigned varint.
+func (w *Writer) U64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+// I64 writes a signed varint (zig-zag).
+func (w *Writer) I64(v int64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+// Int writes an int as a signed varint.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// I32 writes an int32 as a signed varint.
+func (w *Writer) I32(v int32) { w.I64(int64(v)) }
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	var b uint64
+	if v {
+		b = 1
+	}
+	w.U64(b)
+}
+
+// F64 writes a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.U64(uint64(len(b)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+// I32s writes a length-prefixed []int32.
+func (w *Writer) I32s(s []int32) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.I64(int64(v))
+	}
+}
+
+// I64s writes a length-prefixed []int64.
+func (w *Writer) I64s(s []int64) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.I64(v)
+	}
+}
+
+// Ints writes a length-prefixed []int.
+func (w *Writer) Ints(s []int) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.I64(int64(v))
+	}
+}
+
+// F64s writes a length-prefixed []float64.
+func (w *Writer) F64s(s []float64) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.F64(v)
+	}
+}
+
+// Bools writes a length-prefixed []bool.
+func (w *Writer) Bools(s []bool) {
+	w.U64(uint64(len(s)))
+	for _, v := range s {
+		w.Bool(v)
+	}
+}
+
+// Reader deserializes values written by Writer, in the same order.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+// fail records the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// U64 reads an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.fail(fmt.Errorf("ckpt: %w", err))
+		return 0
+	}
+	return v
+}
+
+// I64 reads a signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.fail(fmt.Errorf("ckpt: %w", err))
+		return 0
+	}
+	return v
+}
+
+// Int reads an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// I32 reads an int32.
+func (r *Reader) I32() int32 { return int32(r.I64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U64() != 0 }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// sliceLen reads and bounds-checks a slice length prefix.
+func (r *Reader) sliceLen() int {
+	n := r.U64()
+	if n > maxSliceLen {
+		r.fail(fmt.Errorf("ckpt: slice length %d exceeds limit", n))
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() []byte {
+	n := r.sliceLen()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.fail(fmt.Errorf("ckpt: %w", err))
+		return nil
+	}
+	return b
+}
+
+// I32s reads a length-prefixed []int32.
+func (r *Reader) I32s() []int32 {
+	n := r.sliceLen()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = r.I32()
+	}
+	return s
+}
+
+// I64s reads a length-prefixed []int64.
+func (r *Reader) I64s() []int64 {
+	n := r.sliceLen()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = r.I64()
+	}
+	return s
+}
+
+// Ints reads a length-prefixed []int.
+func (r *Reader) Ints() []int {
+	n := r.sliceLen()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]int, n)
+	for i := range s {
+		s[i] = r.Int()
+	}
+	return s
+}
+
+// F64s reads a length-prefixed []float64.
+func (r *Reader) F64s() []float64 {
+	n := r.sliceLen()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = r.F64()
+	}
+	return s
+}
+
+// Bools reads a length-prefixed []bool.
+func (r *Reader) Bools() []bool {
+	n := r.sliceLen()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = r.Bool()
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package ckpt
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(0)
+	w.U64(math.MaxUint64)
+	w.I64(-1)
+	w.I64(math.MinInt64)
+	w.Int(42)
+	w.I32(-7)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(-0.5)
+	w.F64(math.Inf(1))
+	w.Bytes([]byte("hello"))
+	w.Bytes(nil)
+	w.I32s([]int32{-1, 0, 1 << 30})
+	w.I64s([]int64{math.MinInt64, math.MaxInt64})
+	w.Ints([]int{3, 2, 1})
+	w.F64s([]float64{1.5, -2.25})
+	w.Bools([]bool{true, false, true})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.U64(); got != 0 {
+		t.Fatalf("U64: %d", got)
+	}
+	if got := r.U64(); got != math.MaxUint64 {
+		t.Fatalf("U64 max: %d", got)
+	}
+	if got := r.I64(); got != -1 {
+		t.Fatalf("I64: %d", got)
+	}
+	if got := r.I64(); got != math.MinInt64 {
+		t.Fatalf("I64 min: %d", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Fatalf("Int: %d", got)
+	}
+	if got := r.I32(); got != -7 {
+		t.Fatalf("I32: %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool order")
+	}
+	if got := r.F64(); got != -0.5 {
+		t.Fatalf("F64: %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, 1) {
+		t.Fatalf("F64 inf: %v", got)
+	}
+	if got := r.Bytes(); string(got) != "hello" {
+		t.Fatalf("Bytes: %q", got)
+	}
+	if got := r.Bytes(); got != nil {
+		t.Fatalf("nil Bytes: %v", got)
+	}
+	if got := r.I32s(); !reflect.DeepEqual(got, []int32{-1, 0, 1 << 30}) {
+		t.Fatalf("I32s: %v", got)
+	}
+	if got := r.I64s(); !reflect.DeepEqual(got, []int64{math.MinInt64, math.MaxInt64}) {
+		t.Fatalf("I64s: %v", got)
+	}
+	if got := r.Ints(); !reflect.DeepEqual(got, []int{3, 2, 1}) {
+		t.Fatalf("Ints: %v", got)
+	}
+	if got := r.F64s(); !reflect.DeepEqual(got, []float64{1.5, -2.25}) {
+		t.Fatalf("F64s: %v", got)
+	}
+	if got := r.Bools(); !reflect.DeepEqual(got, []bool{true, false, true}) {
+		t.Fatalf("Bools: %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderStickyErrorOnTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.I64s(make([]int64, 100))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()[:10]))
+	_ = r.I64s()
+	if r.Err() == nil {
+		t.Fatal("truncated slice decoded without error")
+	}
+	// Error must stick: further reads are no-ops, not fresh attempts.
+	first := r.Err()
+	_ = r.U64()
+	_ = r.Bytes()
+	if r.Err() != first {
+		t.Fatalf("error did not stick: %v then %v", first, r.Err())
+	}
+}
+
+func TestReaderRejectsHugeSliceLen(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(math.MaxUint64) // absurd length prefix
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.I32s(); got != nil || r.Err() == nil {
+		t.Fatalf("huge slice length accepted: %d elems, err %v", len(got), r.Err())
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	_ = r.U64()
+	if r.Err() == nil {
+		t.Fatal("read from empty stream succeeded")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/video"
 )
 
@@ -98,6 +99,11 @@ type availabilityStore interface {
 	// drainEventsShard drains only the given shard's event log; distinct
 	// shards may drain concurrently.
 	drainEventsShard(shard int, dst []availEvent) []availEvent
+	// encodeState / decodeState serialize the store's full mutable state
+	// for checkpointing (see checkpoint.go). decodeState targets a freshly
+	// constructed store with the same shape (stripes, T, shard count).
+	encodeState(w *ckpt.Writer)
+	decodeState(r *ckpt.Reader) error
 }
 
 // indexedAvailability is the production store: intrusive per-stripe lists

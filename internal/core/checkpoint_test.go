@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/stats"
+)
+
+// recordingGen wraps a generator and records every emitted demand batch so
+// the restored system can replay the exact same external inputs. This is
+// the checkpoint contract: generators are NOT serialized — the demand feed
+// is an input the operator restarts alongside the restored state.
+type recordingGen struct {
+	inner   Generator
+	byRound map[int][]Demand
+}
+
+func (g *recordingGen) Next(v *View, round int) []Demand {
+	ds := g.inner.Next(v, round)
+	g.byRound[round] = append([]Demand(nil), ds...)
+	return ds
+}
+
+// checkpointChurn applies the same deterministic capacity flips the
+// lockstep differentials use: every few rounds one box loses most of its
+// upload and a previously squeezed box recovers, forcing evictions, dirty
+// windows, and stall episodes around the checkpoint boundary.
+func checkpointChurn(t *testing.T, sys *System, r int, origCap int64) {
+	t.Helper()
+	n := sys.NumBoxes()
+	if r%5 == 0 {
+		if err := sys.SetCapacity((r*7)%n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r%5 == 2 && r >= 5 {
+		if err := sys.SetCapacity(((r-2)*7)%n, origCap); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointRoundTripBitIdentical is the tentpole differential:
+// serialize at a seeded random mid-run round — under admission,
+// retirement, capacity-change, and stall churn — restore into a fresh
+// process-equivalent System, and demand that the next 50 rounds are
+// bit-identical to the uncheckpointed continuation: StepResults with
+// their obstruction certificates, per-slot progress, busy sets, and the
+// final aggregate reports. Runs at shards 1, 2, and 4; paranoid mode
+// cross-checks matcher invariants on the restored state every round.
+func TestCheckpointRoundTripBitIdentical(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(map[int]string{1: "serial", 2: "shards-2", 4: "shards-4"}[shards], func(t *testing.T) {
+			mk := func() *System {
+				return buildHomogeneous(t, 43, 18, 1, 4, 9, 2, 0.8, 2.0, func(cfg *Config) {
+					cfg.Shards = shards
+					cfg.Failure = FailStall
+				})
+			}
+			live := mk()
+			origCap := live.View().UploadSlots(0)
+			rec := &recordingGen{
+				inner:   &uniformGen{rng: stats.NewRNG(1213), p: 0.8},
+				byRound: map[int][]Demand{},
+			}
+			ckptRound := 30 + stats.NewRNG(uint64(shards)*77+5).Intn(40)
+			for r := 1; r <= ckptRound; r++ {
+				checkpointChurn(t, live, r, origCap)
+				if _, err := live.Step(rec); err != nil {
+					t.Fatalf("round %d: %v", r, err)
+				}
+			}
+
+			var buf bytes.Buffer
+			w := ckpt.NewWriter(&buf)
+			if err := live.EncodeState(w); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Uncheckpointed continuation: 50 more rounds on the live
+			// system, snapshotting per-round slot progress and busy sets so
+			// the replay below can be compared round by round (not just
+			// against final state).
+			const tail = 50
+			wantResults := make([]StepResult, 0, tail)
+			wantProgress := make([][]int32, 0, tail)
+			wantBusy := make([][]bool, 0, tail)
+			stallRounds := 0
+			for r := ckptRound + 1; r <= ckptRound+tail; r++ {
+				checkpointChurn(t, live, r, origCap)
+				res, err := live.Step(rec)
+				if err != nil {
+					t.Fatalf("round %d: %v", r, err)
+				}
+				wantResults = append(wantResults, res)
+				wantProgress = append(wantProgress, append([]int32(nil), live.reqProgress...))
+				busy := make([]bool, live.NumBoxes())
+				for b := range busy {
+					busy[b] = live.boxes[b].busy
+				}
+				wantBusy = append(wantBusy, busy)
+				if res.Unmatched > 0 {
+					stallRounds++
+				}
+			}
+			if stallRounds == 0 {
+				t.Fatal("continuation never stalled: the hard half of the differential is untested")
+			}
+
+			// Restore into a fresh process-equivalent system and replay the
+			// exact recorded demand schedule.
+			restored := mk()
+			if err := restored.DecodeState(ckpt.NewReader(bytes.NewReader(buf.Bytes()))); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if restored.Round() != ckptRound {
+				t.Fatalf("restored at round %d, checkpointed at %d", restored.Round(), ckptRound)
+			}
+			replay := &scripted{byRound: rec.byRound}
+			for i, r := 0, ckptRound+1; r <= ckptRound+tail; i, r = i+1, r+1 {
+				checkpointChurn(t, restored, r, origCap)
+				res, err := restored.Step(replay)
+				if err != nil {
+					t.Fatalf("restored round %d: %v", r, err)
+				}
+				if !reflect.DeepEqual(res, wantResults[i]) {
+					t.Fatalf("round %d diverged after restore\nlive:     %+v\nrestored: %+v",
+						r, wantResults[i], res)
+				}
+				if len(restored.reqProgress) != len(wantProgress[i]) {
+					t.Fatalf("round %d: slot table grew to %d slots, live had %d",
+						r, len(restored.reqProgress), len(wantProgress[i]))
+				}
+				for slot, want := range wantProgress[i] {
+					if restored.reqProgress[slot] != want {
+						t.Fatalf("round %d: progress of slot %d diverges: %d vs %d",
+							r, slot, want, restored.reqProgress[slot])
+					}
+				}
+				for b, want := range wantBusy[i] {
+					if restored.boxes[b].busy != want {
+						t.Fatalf("round %d: busy state of box %d diverges", r, b)
+					}
+				}
+			}
+			if repA, repB := live.Report(), restored.Report(); !reflect.DeepEqual(repA, repB) {
+				t.Fatalf("final reports diverge\nlive:     %+v\nrestored: %+v", repA, repB)
+			}
+		})
+	}
+}
+
+// TestCheckpointRejectsMismatch pins the safety rails: a checkpoint must
+// not decode into a system with a different configuration (fingerprint),
+// a different shard count, or from a truncated stream.
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	mk := func(seed uint64, shards int) *System {
+		return buildHomogeneous(t, seed, 18, 1, 4, 9, 2, 0.8, 2.0, func(cfg *Config) {
+			cfg.Shards = shards
+			cfg.Failure = FailStall
+		})
+	}
+	src := mk(43, 2)
+	gen := &uniformGen{rng: stats.NewRNG(7), p: 0.5}
+	for r := 0; r < 10; r++ {
+		if _, err := src.Step(gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	if err := src.EncodeState(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mk(99, 2).DecodeState(ckpt.NewReader(bytes.NewReader(buf.Bytes()))); err == nil {
+		t.Fatal("different allocation accepted")
+	}
+	if err := mk(43, 4).DecodeState(ckpt.NewReader(bytes.NewReader(buf.Bytes()))); err == nil {
+		t.Fatal("different shard count accepted")
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if err := mk(43, 2).DecodeState(ckpt.NewReader(bytes.NewReader(trunc))); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+// TestCheckpointFreshSystem covers the trivial boundary: a system that has
+// never stepped round-trips and then runs normally.
+func TestCheckpointFreshSystem(t *testing.T) {
+	mk := func() *System {
+		return buildHomogeneous(t, 5, 12, 1, 2, 6, 2, 1.5, 1.2, nil)
+	}
+	src := mk()
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	if err := src.EncodeState(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dst := mk()
+	if err := dst.DecodeState(ckpt.NewReader(bytes.NewReader(buf.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Round() != 0 {
+		t.Fatalf("fresh restore at round %d", dst.Round())
+	}
+	gen := &uniformGen{rng: stats.NewRNG(3), p: 0.5}
+	for r := 0; r < 20; r++ {
+		if _, err := dst.Step(gen); err != nil {
+			t.Fatalf("round %d after fresh restore: %v", r, err)
+		}
+	}
+}

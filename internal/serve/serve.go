@@ -1,0 +1,367 @@
+// Package serve wraps a vod.System in a long-lived serving daemon: demand
+// arrivals stream in over HTTP and are mapped onto the round clock, the
+// round engine is advanced explicitly (POST /step) or on a timer, and the
+// full system state can be checkpointed to disk and restored into a new
+// process with bit-identical continuation (see the vod checkpoint
+// envelope).
+//
+// Endpoints:
+//
+//	POST /demand      queue one demand {"box":B,"video":V} or a batch
+//	                  {"demands":[...]}; delivered at the next round
+//	POST /capacity    {"box":B,"slots":S} live capacity change
+//	POST /step        {"rounds":N} advance N rounds (default 1)
+//	POST /checkpoint  {"path":P} write a checkpoint atomically
+//	GET  /metrics     operational metrics (rounds/sec, live requests,
+//	                  matcher mode, obstructions, allocs/round)
+//	GET  /state       spec + full aggregate report
+//	GET  /healthz     liveness probe
+//
+// All handlers serialize on one mutex: the round engine is single-writer
+// by design, and the daemon's job is ordering concurrent arrivals onto
+// the round clock, not parallelizing them.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	vod "repro"
+)
+
+// Server is a serving daemon around one vod.System.
+type Server struct {
+	mu  sync.Mutex
+	sys *vod.System
+
+	// pending holds demands queued over HTTP, delivered (in arrival
+	// order) to the engine at the next Step. Born is stamped at delivery:
+	// an arrival between rounds r and r+1 is born in round r+1.
+	pending []vod.Demand
+
+	// Step timing and allocation accounting for /metrics.
+	stepRounds int64         // rounds stepped by this process
+	stepWall   time.Duration // wall time inside Step
+	allocBytes uint64        // heap bytes allocated across Step calls
+
+	restored bool // whether sys came from a checkpoint
+}
+
+// New wraps sys (fresh or restored from a checkpoint) in a server.
+func New(sys *vod.System, restored bool) *Server {
+	return &Server{sys: sys, restored: restored}
+}
+
+// drainGen feeds the queued demands to the engine. Next runs inside
+// Step, which runs with srv.mu held.
+type drainGen struct{ srv *Server }
+
+func (g drainGen) Next(_ *vod.View, round int) []vod.Demand {
+	ds := g.srv.pending
+	g.srv.pending = nil
+	for i := range ds {
+		ds[i].Born = round
+	}
+	return ds
+}
+
+// StepRounds advances the engine n rounds, delivering queued demands to
+// the first round. Used by both POST /step and the -tick loop.
+func (s *Server) StepRounds(n int) ([]vod.StepResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stepLocked(n)
+}
+
+func (s *Server) stepLocked(n int) ([]vod.StepResult, error) {
+	if n <= 0 {
+		return nil, errors.New("rounds must be positive")
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	allocBefore := ms.TotalAlloc
+	start := time.Now()
+	results := make([]vod.StepResult, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := s.sys.Step(drainGen{s})
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	s.stepWall += time.Since(start)
+	s.stepRounds += int64(n)
+	runtime.ReadMemStats(&ms)
+	s.allocBytes += ms.TotalAlloc - allocBefore
+	return results, nil
+}
+
+// Checkpoint writes the system state to path atomically (temp file in
+// the same directory, then rename), so a crash mid-write never leaves a
+// truncated checkpoint behind. Returns the byte size written.
+func (s *Server) Checkpoint(path string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".vodckpt-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.sys.SaveCheckpoint(tmp); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	size, err := tmp.Seek(0, 2)
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// Metrics is the GET /metrics payload.
+type Metrics struct {
+	Round           int              `json:"round"`
+	Restored        bool             `json:"restored"`
+	MatcherMode     string           `json:"matcher_mode"`
+	LiveRequests    int              `json:"live_requests"`
+	IdleBoxes       int              `json:"idle_boxes"`
+	PendingDemands  int              `json:"pending_demands"`
+	Demands         int64            `json:"demands"`
+	Admitted        int64            `json:"admitted"`
+	RejectedBusy    int64            `json:"rejected_busy"`
+	RejectedSwarm   int64            `json:"rejected_swarm"`
+	Completed       int64            `json:"completed_viewings"`
+	Stalls          int64            `json:"stall_request_rounds"`
+	Obstructions    int              `json:"obstructions"`
+	LastObstruction *vod.Obstruction `json:"last_obstruction,omitempty"`
+	Failed          bool             `json:"failed"`
+	RoundsPerSec    float64          `json:"rounds_per_sec"`
+	AllocsPerRound  uint64           `json:"alloc_bytes_per_round"`
+	SteppedRounds   int64            `json:"stepped_rounds"`
+}
+
+func (s *Server) metricsLocked() Metrics {
+	rep := s.sys.Report()
+	view := s.sys.View()
+	mode := "serial"
+	if sh := s.sys.Spec().Shards; sh > 1 {
+		mode = fmt.Sprintf("sharded-%d", sh)
+	}
+	m := Metrics{
+		Round:          s.sys.Round(),
+		Restored:       s.restored,
+		MatcherMode:    mode,
+		LiveRequests:   view.ActiveRequests(),
+		IdleBoxes:      view.NumIdle(),
+		PendingDemands: len(s.pending),
+		Demands:        rep.Demands,
+		Admitted:       rep.Admitted,
+		RejectedBusy:   rep.RejectedBusy,
+		RejectedSwarm:  rep.RejectedSwarm,
+		Completed:      rep.CompletedViewings,
+		Stalls:         rep.Stalls,
+		Obstructions:   len(rep.Obstructions),
+		Failed:         rep.Failed,
+		SteppedRounds:  s.stepRounds,
+	}
+	if n := len(rep.Obstructions); n > 0 {
+		m.LastObstruction = &rep.Obstructions[n-1]
+	}
+	if s.stepWall > 0 {
+		m.RoundsPerSec = float64(s.stepRounds) / s.stepWall.Seconds()
+	}
+	if s.stepRounds > 0 {
+		m.AllocsPerRound = s.allocBytes / uint64(s.stepRounds)
+	}
+	return m
+}
+
+type demandIn struct {
+	Box   int `json:"box"`
+	Video int `json:"video"`
+}
+
+type demandReq struct {
+	demandIn
+	Demands []demandIn `json:"demands"`
+}
+
+type capacityReq struct {
+	Box   int   `json:"box"`
+	Slots int64 `json:"slots"`
+}
+
+type stepReq struct {
+	Rounds int `json:"rounds"`
+}
+
+type checkpointReq struct {
+	Path string `json:"path"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /demand", s.handleDemand)
+	mux.HandleFunc("POST /capacity", s.handleCapacity)
+	mux.HandleFunc("POST /step", s.handleStep)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /state", s.handleState)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
+	var req demandReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	batch := req.Demands
+	if batch == nil {
+		batch = []demandIn{req.demandIn}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.sys.View().NumBoxes()
+	m := s.sys.Catalog().M
+	for _, d := range batch {
+		if d.Box < 0 || d.Box >= n {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("box %d out of range [0,%d)", d.Box, n))
+			return
+		}
+		if d.Video < 0 || d.Video >= m {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("video %d out of range [0,%d)", d.Video, m))
+			return
+		}
+	}
+	for _, d := range batch {
+		s.pending = append(s.pending, vod.Demand{Box: d.Box, Video: vod.VideoID(d.Video)})
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"queued": len(batch), "pending": len(s.pending), "round": s.sys.Round(),
+	})
+}
+
+func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	var req capacityReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sys.SetCapacity(req.Box, req.Slots); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"box": req.Box, "slots": req.Slots})
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	req := stepReq{Rounds: 1}
+	if r.ContentLength != 0 {
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		if req.Rounds == 0 {
+			req.Rounds = 1
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	results, err := s.stepLocked(req.Rounds)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	matched, unmatched := 0, 0
+	for _, res := range results {
+		matched += res.Matched
+		unmatched += res.Unmatched
+	}
+	resp := map[string]any{
+		"round":     s.sys.Round(),
+		"stepped":   len(results),
+		"matched":   matched,
+		"unmatched": unmatched,
+	}
+	if n := len(results); n > 0 {
+		resp["last"] = results[n-1]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	var req checkpointReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("path required"))
+		return
+	}
+	size, err := s.Checkpoint(req.Path)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	round := s.sys.Round()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"path": req.Path, "bytes": size, "round": round})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	m := s.metricsLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := map[string]any{
+		"spec":   s.sys.Spec(),
+		"round":  s.sys.Round(),
+		"report": s.sys.Report(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}

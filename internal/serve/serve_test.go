@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	vod "repro"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	sys, err := vod.New(vod.Spec{Boxes: 30, Upload: 2.0, Resilient: true, Shards: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sys, false)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemandStepMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	code, out := postJSON(t, ts.URL+"/demand", map[string]int{"box": 3, "video": 0})
+	if code != http.StatusOK {
+		t.Fatalf("demand: %d %v", code, out)
+	}
+	code, out = postJSON(t, ts.URL+"/demand", map[string]any{
+		"demands": []map[string]int{{"box": 5, "video": 1}, {"box": 6, "video": 1}},
+	})
+	if code != http.StatusOK || out["pending"].(float64) != 3 {
+		t.Fatalf("batch demand: %d %v", code, out)
+	}
+
+	code, out = postJSON(t, ts.URL+"/step", map[string]int{"rounds": 5})
+	if code != http.StatusOK {
+		t.Fatalf("step: %d %v", code, out)
+	}
+	if out["round"].(float64) != 5 {
+		t.Fatalf("round after step: %v", out["round"])
+	}
+
+	var m Metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Round != 5 || m.Demands != 3 || m.Admitted != 3 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.MatcherMode != "sharded-2" {
+		t.Fatalf("matcher mode: %q", m.MatcherMode)
+	}
+	if m.SteppedRounds != 5 || m.RoundsPerSec <= 0 {
+		t.Fatalf("step accounting: %+v", m)
+	}
+	if m.LiveRequests == 0 {
+		t.Fatalf("three admitted viewers should hold live requests: %+v", m)
+	}
+}
+
+func TestDemandValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := postJSON(t, ts.URL+"/demand", map[string]int{"box": -1, "video": 0}); code != http.StatusBadRequest {
+		t.Fatalf("negative box accepted: %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/demand", map[string]int{"box": 0, "video": 9999}); code != http.StatusBadRequest {
+		t.Fatalf("out-of-catalog video accepted: %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/step", map[string]int{"rounds": -3}); code == http.StatusOK {
+		t.Fatal("negative rounds accepted")
+	}
+}
+
+func TestCapacityEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if code, out := postJSON(t, ts.URL+"/capacity", map[string]int{"box": 2, "slots": 1}); code != http.StatusOK {
+		t.Fatalf("capacity: %d %v", code, out)
+	}
+	if got := srv.sys.View().UploadSlots(2); got != 1 {
+		t.Fatalf("capacity not applied: %d", got)
+	}
+	if code, _ := postJSON(t, ts.URL+"/capacity", map[string]int{"box": 999, "slots": 1}); code != http.StatusBadRequest {
+		t.Fatal("bad box accepted")
+	}
+}
+
+// TestCheckpointRestartContinuity is the HTTP-level version of the CI
+// smoke test: drive demands, checkpoint over HTTP, bring up a second
+// daemon from the file, and verify the round clock and counters carried
+// over — then verify both daemons continue bit-identically under the
+// same demand stream.
+func TestCheckpointRestartContinuity(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	for i := 0; i < 20; i++ {
+		code, out := postJSON(t, ts.URL+"/demand", map[string]int{"box": i, "video": i % 3})
+		if code != http.StatusOK {
+			t.Fatalf("demand %d: %v", i, out)
+		}
+		if code, out = postJSON(t, ts.URL+"/step", nil); code != http.StatusOK {
+			t.Fatalf("step %d: %v", i, out)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	code, out := postJSON(t, ts.URL+"/checkpoint", map[string]string{"path": path})
+	if code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %v", code, out)
+	}
+	if out["round"].(float64) != 20 {
+		t.Fatalf("checkpoint round: %v", out)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredSys, err := vod.LoadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(New(restoredSys, true).Handler())
+	defer ts2.Close()
+
+	var m1, m2 Metrics
+	getJSON(t, ts.URL+"/metrics", &m1)
+	getJSON(t, ts2.URL+"/metrics", &m2)
+	if m2.Round != m1.Round {
+		t.Fatalf("round clock did not carry over: %d vs %d", m2.Round, m1.Round)
+	}
+	if !m2.Restored {
+		t.Fatal("restored flag not set")
+	}
+	if m2.Demands != m1.Demands || m2.Admitted != m1.Admitted || m2.Completed != m1.Completed {
+		t.Fatalf("counters did not carry over: %+v vs %+v", m2, m1)
+	}
+
+	// Identical demand streams into both daemons must produce identical
+	// rounds from here on.
+	for i := 0; i < 15; i++ {
+		d := map[string]int{"box": (i * 3) % 30, "video": i % 2}
+		for _, u := range []string{ts.URL, ts2.URL} {
+			if code, out := postJSON(t, u+"/demand", d); code != http.StatusOK {
+				t.Fatalf("demand: %v", out)
+			}
+		}
+		_, o1 := postJSON(t, ts.URL+"/step", nil)
+		_, o2 := postJSON(t, ts2.URL+"/step", nil)
+		if fmt.Sprint(o1) != fmt.Sprint(o2) {
+			t.Fatalf("round %d diverged after restore:\n%v\n%v", i, o1, o2)
+		}
+	}
+}
+
+func TestStateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var st struct {
+		Spec  vod.Spec   `json:"spec"`
+		Round int        `json:"round"`
+		Rep   vod.Report `json:"report"`
+	}
+	getJSON(t, ts.URL+"/state", &st)
+	if st.Spec.Boxes != 30 || st.Round != 0 {
+		t.Fatalf("state: %+v", st)
+	}
+}

@@ -38,12 +38,18 @@ type Trace struct {
 // Len returns the number of events.
 func (t *Trace) Len() int { return len(t.Events) }
 
-// Rounds returns the last round with an event (0 for an empty trace).
+// Rounds returns the highest round with an event (0 for an empty trace).
+// It scans rather than trusting order, so hand-built or concatenated
+// traces that have not been normalized report the same value as sorted
+// ones.
 func (t *Trace) Rounds() int {
-	if len(t.Events) == 0 {
-		return 0
+	max := 0
+	for i := range t.Events {
+		if t.Events[i].Round > max {
+			max = t.Events[i].Round
+		}
 	}
-	return t.Events[len(t.Events)-1].Round
+	return max
 }
 
 // sorted reports whether events are in non-decreasing round order.
@@ -172,6 +178,14 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	}
 	t := &Trace{}
 	for i, line := range lines[1:] {
+		// Tolerate CRLF line endings and interior blank lines (common in
+		// hand-edited or re-exported files): a stray "\r" would otherwise
+		// fail strconv on the last field, and a blank line would surface as
+		// the confusing "has 1 fields".
+		line = strings.TrimSuffix(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
 		fields := strings.Split(line, ",")
 		if len(fields) != 4 {
 			return nil, fmt.Errorf("trace: line %d has %d fields", i+2, len(fields))

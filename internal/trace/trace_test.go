@@ -173,6 +173,68 @@ func TestCSVErrors(t *testing.T) {
 	}
 }
 
+func TestRoundsOrderIndependent(t *testing.T) {
+	// Rounds must report the max round even on traces that were never
+	// normalized (hand-built or concatenated): it used to return the *last*
+	// event's round, under-reporting whenever a late event carried an
+	// earlier round.
+	tr := &Trace{Events: []Event{
+		{Round: 9, Box: 0, Video: 0},
+		{Round: 2, Box: 1, Video: 1},
+	}}
+	if got := tr.Rounds(); got != 9 {
+		t.Fatalf("Rounds() = %d on unsorted trace, want 9", got)
+	}
+	if s := tr.Summarize(); s.Rounds != 9 {
+		t.Fatalf("Summarize().Rounds = %d on unsorted trace, want 9", s.Rounds)
+	}
+	tr.Normalize()
+	if got := tr.Rounds(); got != 9 {
+		t.Fatalf("Rounds() = %d after Normalize, want 9", got)
+	}
+	if got := (&Trace{}).Rounds(); got != 0 {
+		t.Fatalf("empty Rounds() = %d, want 0", got)
+	}
+}
+
+func TestCSVReadsCRLF(t *testing.T) {
+	// Windows-written or re-exported files terminate lines with \r\n; the
+	// stray \r used to reach strconv.Atoi on the last field.
+	in := "round,box,video,born\r\n1,3,7,1\r\n2,4,1,0\r\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Round: 1, Box: 3, Video: 7, Born: 1},
+		{Round: 2, Box: 4, Video: 1},
+	}
+	if got.Len() != len(want) {
+		t.Fatalf("parsed %d events, want %d", got.Len(), len(want))
+	}
+	for i := range want {
+		if got.Events[i] != want[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], want[i])
+		}
+	}
+}
+
+func TestCSVSkipsBlankLines(t *testing.T) {
+	// Interior blank lines (including \r-only ones) are skipped instead of
+	// failing as "line N has 1 fields".
+	in := "round,box,video,born\n1,3,7,1\n\n2,4,1,0\n\r\n3,5,2,0\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("parsed %d events, want 3", got.Len())
+	}
+	if got.Events[2].Round != 3 || got.Events[2].Box != 5 {
+		t.Fatalf("last event wrong: %+v", got.Events[2])
+	}
+}
+
 func TestNormalizeSorts(t *testing.T) {
 	tr := &Trace{Events: []Event{
 		{Round: 5, Box: 1},

@@ -111,6 +111,7 @@ type Spec struct {
 // System is a runnable video system.
 type System struct {
 	inner   *core.System
+	spec    Spec
 	catalog Catalog
 	alloc   *allocation.Allocation
 	caps    []int64
@@ -220,7 +221,7 @@ func New(spec Spec) (*System, error) {
 	for b, u := range uploads {
 		capSlots[b] = int64(analysis.UploadSlots(u, c))
 	}
-	return &System{inner: inner, catalog: cat, alloc: alloc, caps: capSlots}, nil
+	return &System{inner: inner, spec: spec, catalog: cat, alloc: alloc, caps: capSlots}, nil
 }
 
 // Catalog returns the catalog the allocation achieved (its M is the
@@ -239,6 +240,19 @@ func (s *System) Run(gen Generator, rounds int) (Report, error) { return s.inner
 
 // Failed reports whether the system hit a fail-stop obstruction.
 func (s *System) Failed() bool { return s.inner.Failed() }
+
+// Spec returns the spec the system was built from.
+func (s *System) Spec() Spec { return s.spec }
+
+// Round returns the current round number.
+func (s *System) Round() int { return s.inner.Round() }
+
+// Report returns the aggregate report for the rounds simulated so far.
+func (s *System) Report() Report { return s.inner.Report() }
+
+// SetCapacity changes box b's matching capacity to `slots` upload slots,
+// effective next round. Excess assignments are evicted deterministically.
+func (s *System) SetCapacity(b int, slots int64) error { return s.inner.SetCapacity(b, slots) }
 
 // AuditSummary reports the sampled Hall-condition screening of the
 // system's allocation (see internal/expander): Margin is the lowest
