@@ -338,9 +338,14 @@ func (g *sweepArrivals) Next(v *View, _ int) []Demand {
 // is the same at every population size. shards > 1 runs the sharded
 // round engine (bit-identical results, different wall-clock).
 func benchStepBounded(b *testing.B, n, perRound, shards int) {
+	// At 10⁷ boxes pre-registering ~Shards×n sharded right records up
+	// front would dominate the benchmark's memory; every smaller bench
+	// keeps the pre-registration default that production configs use.
+	lazy := n >= 10_000_000
 	sys, err := New(Spec{
 		Boxes: n, Upload: 2.0, Storage: 2, Stripes: 4, Replicas: 4,
 		Duration: 50, Growth: 1.2, Seed: 17, Shards: shards,
+		LazyShardRights: lazy,
 	})
 	if err != nil {
 		b.Fatal(err)

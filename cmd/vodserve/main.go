@@ -8,6 +8,9 @@
 //	vodserve -n 200 -u 1.5 -addr :8080                # manual stepping
 //	vodserve -n 200 -u 1.5 -tick 500ms                # one round per 500ms
 //	vodserve -restore state.ckpt -addr :8080          # resume a checkpoint
+//	vodserve -scenario spec.yaml                      # system from a scenario spec
+//	vodserve -n 200 -u 1.5 -checkpoint-every 100 \
+//	         -checkpoint-keep 3 -checkpoint-dir ckpts # periodic auto-checkpoints
 //
 //	curl -X POST localhost:8080/demand -d '{"box":3,"video":0}'
 //	curl -X POST localhost:8080/step -d '{"rounds":10}'
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	vod "repro"
+	"repro/internal/scenario"
 	"repro/internal/serve"
 )
 
@@ -48,6 +52,10 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 		tick      = flag.Duration("tick", 0, "auto-advance one round per interval (0 = step via POST /step only)")
 		restore   = flag.String("restore", "", "restore state from this checkpoint file (spec flags are ignored)")
+		scenPath  = flag.String("scenario", "", "build the system from a scenario spec (YAML/JSON) instead of the -n/-u/… flags; stream its corpus with vodgen -post")
+		ckptEvery = flag.Int("checkpoint-every", 0, "write an auto-checkpoint every N rounds (0 = off)")
+		ckptKeep  = flag.Int("checkpoint-keep", 3, "how many auto-checkpoints to retain (oldest pruned)")
+		ckptDir   = flag.String("checkpoint-dir", "checkpoints", "directory for auto-checkpoints")
 	)
 	flag.Parse()
 
@@ -76,6 +84,30 @@ func main() {
 			log.Fatalf("vodserve: restore %s: %v", *restore, err)
 		}
 		restored = true
+	} else if *scenPath != "" {
+		sc, err := scenario.ParseFile(*scenPath)
+		if err != nil {
+			log.Fatalf("vodserve: %v", err)
+		}
+		scSpec := sc.VodSpec(func() uint64 {
+			seedSet := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "seed" {
+					seedSet = true
+				}
+			})
+			if seedSet {
+				return *seed
+			}
+			return sc.Seed
+		}())
+		scSpec.Shards = *shards
+		sys, err = vod.New(scSpec)
+		if err != nil {
+			log.Fatalf("vodserve: %v", err)
+		}
+		log.Printf("vodserve: system from scenario %s (%d rounds of corpus; stream with vodgen -spec %s -post)",
+			sc.Name, sc.TotalRounds(), *scenPath)
 	} else {
 		spec := vod.Spec{
 			Boxes:     *n,
@@ -108,6 +140,13 @@ func main() {
 	}
 
 	srv := serve.New(sys, restored)
+	if *ckptEvery > 0 {
+		if err := srv.EnableAutoCheckpoint(*ckptDir, *ckptEvery, *ckptKeep); err != nil {
+			log.Fatalf("vodserve: %v", err)
+		}
+		log.Printf("vodserve: auto-checkpointing every %d rounds to %s (keeping %d)",
+			*ckptEvery, *ckptDir, *ckptKeep)
+	}
 	spec := sys.Spec()
 	cat := sys.Catalog()
 	mode := "serial"

@@ -12,6 +12,8 @@
 //	vodsim -record workload.json …                         # record the demands
 //	vodsim -replay workload.json …                         # replay a recording
 //	vodsim -n 500 -u 1.5 -seeds 16 …                       # 16 replicas in parallel
+//	vodsim -scenario spec.yaml                             # declarative scenario run
+//	vodsim -scenario spec.yaml -golden want.txt            # …diffed against a golden
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	vod "repro"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -51,17 +54,35 @@ func main() {
 		seeds      = flag.Int("seeds", 1, "number of independent replicas (seed, seed+1, …) run on a worker pool")
 		workers    = flag.Int("workers", 0, "replica worker pool size: concurrent independent replicas (0 = GOMAXPROCS); for parallelism inside one replica see -shards")
 		shards     = flag.Int("shards", 0, "intra-run parallelism: shards per round engine (0 = serial engine); results are bit-identical at any shard count")
+		scenPath   = flag.String("scenario", "", "run a declarative scenario spec (YAML/JSON) end to end: expand its corpus, replay it, print the golden summary")
+		goldenPath = flag.String("golden", "", "with -scenario: compare the summary against this golden file and exit non-zero on drift")
 	)
 	flag.Parse()
 
 	// -hetero installs the heterogeneous defaults, but an explicitly set
 	// -mu must survive them: only flags the user did not pass are defaulted.
-	muSet := false
+	// A -seed the user did not pass defers to a scenario spec's default.
+	muSet, seedSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "mu" {
+		switch f.Name {
+		case "mu":
 			muSet = true
+		case "seed":
+			seedSet = true
 		}
 	})
+
+	if *scenPath != "" {
+		if err := runScenario(*scenPath, *goldenPath, *seed, seedSet, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, "vodsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *goldenPath != "" {
+		fmt.Fprintln(os.Stderr, "vodsim: -golden requires -scenario")
+		os.Exit(1)
+	}
 
 	mkSpec := func(allocSeed uint64) vod.Spec {
 		spec := vod.Spec{
@@ -204,6 +225,40 @@ func main() {
 		f.Close()
 		fmt.Printf("\nrecorded %d demands to %s\n", recorder.Trace.Len(), *recordPath)
 	}
+}
+
+// runScenario expands a declarative scenario, replays its corpus through
+// a fresh engine, and prints the stable golden summary. With a golden
+// file it compares instead, failing on any drift — the CI scenario-smoke
+// job runs exactly this.
+func runScenario(path, golden string, seed uint64, seedSet bool, shards int) error {
+	spec, err := scenario.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	opt := scenario.RunOptions{Shards: shards}
+	if seedSet {
+		opt.Seed = seed
+	}
+	res, err := scenario.Run(spec, opt)
+	if err != nil {
+		return err
+	}
+	summary := res.GoldenSummary()
+	if golden == "" {
+		fmt.Print(summary)
+		return nil
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		return err
+	}
+	if summary != string(want) {
+		return fmt.Errorf("scenario %s drifted from golden %s:\n--- got ---\n%s--- want ---\n%s",
+			spec.Name, golden, summary, want)
+	}
+	fmt.Printf("scenario %s matches golden %s\n", spec.Name, golden)
+	return nil
 }
 
 // runReplicas runs `seeds` independent simulations (allocation and

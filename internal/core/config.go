@@ -118,6 +118,16 @@ type Config struct {
 	// certificates — bit-identical at every shard count, so Shards is a
 	// pure throughput knob. 0 or 1 selects the serial engine.
 	Shards int
+	// LazyShardRights defers sub-matcher right-space registration to
+	// first touch instead of pre-registering every (shard, holder) pair
+	// from the allocation at construction. Pre-registration (the default)
+	// eliminates the per-round lazy-growth allocations that fresh-video
+	// churn otherwise causes on the sharded engine; the lazy mode exists
+	// for populations so large that materializing ~Shards×Boxes right
+	// records up front would dominate memory (see
+	// BenchmarkStepTenMillionBoxes). Results are identical either way —
+	// registration order only renames shard-local right ids.
+	LazyShardRights bool
 	// SerialAugment selects the matcher's retained per-root augmentation
 	// reference instead of blocking-flow batch phases. Both reach a
 	// maximum matching every round (equal cardinality, possibly different

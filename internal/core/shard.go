@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/bipartite"
+	"repro/internal/video"
 )
 
 // lane is one shard's private engine state.
@@ -51,6 +52,25 @@ func (ln *lane) init(s *System, id int) {
 			local = int32(ln.sys.sharded.Register(ln.id, box))
 		}
 		return ln.fnStack[len(ln.fnStack)-1](int(local))
+	}
+}
+
+// preRegisterShardRights materializes every sub-matcher right the
+// allocation can ever need: stripe st's holders are exactly the boxes
+// st's requests can reach, so registering each holder with st's shard at
+// construction covers every future Register call. Without this, rights
+// grow lazily at first touch — and a fresh-video churn workload touches
+// new (shard, box) pairs every round, costing ~2MB/round in right-record
+// and capacity-view growth on the sharded engine (measured by
+// BenchmarkStepShardScaling). Registration order only renames shard-local
+// right ids; results are unchanged (Config.LazyShardRights restores the
+// lazy path for populations too large to pre-register).
+func (s *System) preRegisterShardRights() {
+	for st, holders := range s.cfg.Alloc.ByStripe {
+		sh := s.shardOf(video.StripeID(st))
+		for _, b := range holders {
+			s.sharded.Register(sh, int(b))
+		}
 	}
 }
 

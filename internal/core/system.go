@@ -134,6 +134,9 @@ func NewSystem(cfg Config) (*System, error) {
 			s.sharded.Sub(sh).SerialAugment = cfg.SerialAugment
 			s.lanes[sh].init(s, sh)
 		}
+		if !cfg.LazyShardRights {
+			s.preRegisterShardRights()
+		}
 	}
 	if cfg.NaiveAvailability {
 		na := newNaiveAvailability(cat.NumStripes(), cat.T)

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// errCase is one malformed spec: the parser must fail and the message
+// must carry every listed fragment (file:line positions included).
+type errCase struct {
+	name string
+	text string
+	want []string
+}
+
+func TestMalformedSpecs(t *testing.T) {
+	cases := []errCase{
+		{
+			name: "unknown version",
+			text: "scenario: 2\nname: x\nsystem:\n  boxes: 10\n  upload: 1.5\nphases:\n  - name: p\n    rounds: 5\n",
+			want: []string{"bad.yaml:1", "unsupported format version 2"},
+		},
+		{
+			name: "missing version",
+			text: "name: x\nsystem:\n  boxes: 10\n  upload: 1.5\nphases:\n  - name: p\n    rounds: 5\n",
+			want: []string{"spec.scenario", "missing format version"},
+		},
+		{
+			name: "unknown top-level field",
+			text: "scenario: 1\nname: x\nbogus: 3\nsystem:\n  boxes: 10\n  upload: 1.5\nphases:\n  - name: p\n    rounds: 5\n",
+			want: []string{"bad.yaml:3", "spec.bogus", "unknown field"},
+		},
+		{
+			name: "unknown nested field with line",
+			text: "scenario: 1\nname: x\nsystem:\n  boxes: 10\n  upload: 1.5\n  warp: 9\nphases:\n  - name: p\n    rounds: 5\n",
+			want: []string{"bad.yaml:6", "spec.system.warp"},
+		},
+		{
+			name: "bad arrival process",
+			text: "scenario: 1\nname: x\nsystem:\n  boxes: 10\n  upload: 1.5\nphases:\n  - name: p\n    rounds: 5\n    arrival:\n      process: warp\n",
+			want: []string{"bad.yaml:10", "unknown process \"warp\""},
+		},
+		{
+			name: "non-integer rounds",
+			text: "scenario: 1\nname: x\nsystem:\n  boxes: 10\n  upload: 1.5\nphases:\n  - name: p\n    rounds: soon\n",
+			want: []string{"bad.yaml:8", "expected an integer"},
+		},
+		{
+			name: "rounds disagree with phase sum",
+			text: "scenario: 1\nname: x\nrounds: 99\nsystem:\n  boxes: 10\n  upload: 1.5\nphases:\n  - name: p\n    rounds: 5\n",
+			want: []string{"bad.yaml:3", "declared 99 but the phases sum to 5"},
+		},
+		{
+			name: "outage region out of range",
+			text: "scenario: 1\nname: x\nregions: 2\nsystem:\n  boxes: 10\n  upload: 1.5\nphases:\n  - name: p\n    rounds: 5\n    outage:\n      region: 2\n      down: 3\n",
+			want: []string{"region 2 out of range [0,2)"},
+		},
+		{
+			name: "tier fractions do not sum to 1",
+			text: "scenario: 1\nname: x\nsystem:\n  boxes: 10\n  tiers:\n    - frac: 0.5\n      upload: 2\n      storage: 4\n    - frac: 0.3\n      upload: 1\n      storage: 2\nphases:\n  - name: p\n    rounds: 5\n",
+			want: []string{"fractions must sum to 1"},
+		},
+		{
+			name: "no phases",
+			text: "scenario: 1\nname: x\nsystem:\n  boxes: 10\n  upload: 1.5\n",
+			want: []string{"at least one phase is required"},
+		},
+		{
+			name: "duplicate phase name",
+			text: "scenario: 1\nname: x\nsystem:\n  boxes: 10\n  upload: 1.5\nphases:\n  - name: p\n    rounds: 5\n  - name: p\n    rounds: 5\n",
+			want: []string{"duplicate phase name \"p\""},
+		},
+		{
+			name: "tab indentation",
+			text: "scenario: 1\nname: x\nsystem:\n\tboxes: 10\n",
+			want: []string{"line 4", "tab"},
+		},
+		{
+			name: "duplicate key",
+			text: "scenario: 1\nname: x\nname: y\nsystem:\n  boxes: 10\n  upload: 1.5\nphases:\n  - name: p\n    rounds: 5\n",
+			want: []string{"duplicate key"},
+		},
+		{
+			name: "flow collection rejected",
+			text: "scenario: 1\nname: x\nsystem: {boxes: 10}\nphases:\n  - name: p\n    rounds: 5\n",
+			want: []string{"line 3"},
+		},
+		{
+			name: "json unknown version",
+			text: `{"scenario": 9, "name": "x", "system": {"boxes": 10, "upload": 1.5}, "phases": [{"name": "p", "rounds": 5}]}`,
+			want: []string{"unsupported format version 9"},
+		},
+		{
+			name: "json trailing garbage",
+			text: `{"scenario": 1} {"again": true}`,
+			want: []string{"trailing"},
+		},
+		{
+			name: "multiple errors reported together",
+			text: "scenario: 1\nname: x\nsystem:\n  boxes: -3\n  upload: 0\nphases:\n  - name: p\n    rounds: 0\n",
+			want: []string{"spec.system.boxes", "spec.system.upload", "rounds", "must be positive"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.text), "bad.yaml")
+			if err == nil {
+				t.Fatal("parse accepted a malformed spec")
+			}
+			msg := err.Error()
+			for _, frag := range tc.want {
+				if !strings.Contains(msg, frag) {
+					t.Errorf("error message missing %q:\n%s", frag, msg)
+				}
+			}
+		})
+	}
+}
+
+// TestParseValidYAMLAndJSON checks the two front-ends agree on an
+// equivalent spec.
+func TestParseValidYAMLAndJSON(t *testing.T) {
+	yaml := "scenario: 1\nname: pair\nseed: 3\nsystem:\n  boxes: 50\n  upload: 1.5\nphases:\n  - name: p\n    rounds: 4\n    arrival:\n      process: poisson\n      rate: 2.5\n"
+	json := `{"scenario": 1, "name": "pair", "seed": 3, "system": {"boxes": 50, "upload": 1.5}, "phases": [{"name": "p", "rounds": 4, "arrival": {"process": "poisson", "rate": 2.5}}]}`
+	a, err := Parse([]byte(yaml), "a.yaml")
+	if err != nil {
+		t.Fatalf("yaml: %v", err)
+	}
+	b, err := Parse([]byte(json), "b.json")
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	ha, _ := Expand(a, 0)
+	hb, _ := Expand(b, 0)
+	if ha == nil || hb == nil {
+		t.Fatal("expansion failed")
+	}
+	if CorpusHash(ha.Trace) != CorpusHash(hb.Trace) {
+		t.Fatal("equivalent YAML and JSON specs expanded to different corpora")
+	}
+}

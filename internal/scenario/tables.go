@@ -1,0 +1,56 @@
+package scenario
+
+// Report tables (vodbench -scenario): a scenario run rendered through the
+// same report pipeline as the numbered reproduction experiments, so it
+// prints, exports to Markdown/CSV, and plots identically.
+
+import "repro/internal/report"
+
+// Tables renders the run as report tables: a summary metric table plus a
+// per-phase corpus breakdown.
+func (r *Result) Tables() []*report.Table {
+	ex := r.Expanded
+	st := ex.Trace.Summarize()
+	rep := r.Report
+
+	summary := report.New("Scenario summary", "metric", "value")
+	summary.AddRowValues("seed", ex.Seed)
+	summary.AddRowValues("boxes", ex.VodSpec.Boxes)
+	summary.AddRowValues("videos", ex.Catalog.M)
+	summary.AddRowValues("rounds", ex.Spec.TotalRounds())
+	summary.AddRowValues("corpus events", st.Events)
+	summary.AddRowValues("corpus hash", r.CorpusHash)
+	summary.AddRowValues("demands admitted", rep.Admitted)
+	summary.AddRowValues("rejected (busy)", rep.RejectedBusy)
+	summary.AddRowValues("rejected (swarm)", rep.RejectedSwarm)
+	summary.AddRowValues("completed viewings", rep.CompletedViewings)
+	summary.AddRowValues("stalls", rep.Stalls)
+	summary.AddRowValues("obstructions", len(rep.Obstructions))
+	summary.AddRowValues("peak requests", rep.PeakRequests)
+	summary.AddRowValues("max swarm", rep.MaxSwarm)
+	summary.AddRowValues("mean utilization", rep.MeanUtilization)
+	summary.AddRowValues("startup mean", rep.StartupDelay.Mean)
+	summary.AddRowValues("startup p99", rep.StartupDelay.P99)
+
+	phases := report.New("Per-phase corpus", "phase", "rounds", "events", "peak/round")
+	start := 1
+	pos := 0
+	for _, p := range ex.Spec.Phases {
+		end := start + p.Rounds - 1
+		events, peak := 0, 0
+		perRound := map[int]int{}
+		for pos < len(ex.Trace.Events) && ex.Trace.Events[pos].Round <= end {
+			rd := ex.Trace.Events[pos].Round
+			perRound[rd]++
+			if perRound[rd] > peak {
+				peak = perRound[rd]
+			}
+			events++
+			pos++
+		}
+		phases.AddRowValues(p.Name, p.Rounds, events, peak)
+		start = end + 1
+	}
+
+	return []*report.Table{summary, phases}
+}

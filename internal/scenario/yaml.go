@@ -1,0 +1,405 @@
+// Scenario specs are written in a small, strictly defined subset of YAML
+// (or, interchangeably, JSON). The subset is deliberately tiny — block
+// maps, block lists, scalars, comments — because the point of the spec
+// format is reproducibility and precise error messages, not expressive
+// power: every parse error carries the offending line, and the decoded
+// tree remembers line numbers so field-level validation errors do too.
+//
+// Supported YAML constructs:
+//
+//	key: value            # scalar field ("#" comments allowed)
+//	key:                  # nested block (map or list) on deeper lines
+//	  sub: 1
+//	list:
+//	  - 3                 # scalar items
+//	  - name: x           # map items (keys aligned under the first)
+//	    rounds: 5
+//	quoted: "a # not a comment"
+//
+// Not supported (rejected with an error rather than misparsed): tabs in
+// indentation, flow collections ({...}, [...]), anchors/aliases, multi-
+// line scalars, and documents ("---"). JSON documents (first non-blank
+// byte "{") are parsed with encoding/json and get the same line-tracked
+// tree.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// node is one vertex of the parsed spec tree. Exactly one of the three
+// shapes is populated, per kind.
+type node struct {
+	line   int
+	kind   nodeKind
+	scalar string // scalarNode
+	quoted bool   // scalar came quoted: always a string, never a number
+	keys   []string
+	fields map[string]*node // mapNode, in keys order
+	items  []*node          // listNode
+}
+
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	listNode
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case scalarNode:
+		return "scalar"
+	case mapNode:
+		return "mapping"
+	case listNode:
+		return "list"
+	}
+	return "?"
+}
+
+// parseTree parses a YAML-subset or JSON document into a node tree.
+func parseTree(data []byte) (*node, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') {
+		return parseJSONTree(data)
+	}
+	return parseYAMLTree(data)
+}
+
+// --- YAML subset ---
+
+type yline struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content with indent and comments stripped
+}
+
+type yparser struct {
+	lines []yline
+	pos   int
+}
+
+func parseYAMLTree(data []byte) (*node, error) {
+	p := &yparser{}
+	for i, raw := range strings.Split(string(data), "\n") {
+		num := i + 1
+		if idx := strings.IndexByte(raw, '\t'); idx >= 0 {
+			return nil, fmt.Errorf("line %d: tab character (the scenario YAML subset indents with spaces only)", num)
+		}
+		raw = strings.TrimRight(raw, " \r")
+		content := stripComment(raw)
+		content = strings.TrimRight(content, " ")
+		indent := 0
+		for indent < len(content) && content[indent] == ' ' {
+			indent++
+		}
+		body := content[indent:]
+		if body == "" {
+			continue
+		}
+		if body == "---" || strings.HasPrefix(body, "--- ") {
+			return nil, fmt.Errorf("line %d: multi-document markers (---) are not part of the scenario YAML subset", num)
+		}
+		p.lines = append(p.lines, yline{num: num, indent: indent, text: body})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("empty scenario document")
+	}
+	if p.lines[0].indent != 0 {
+		return nil, fmt.Errorf("line %d: top-level content must not be indented", p.lines[0].num)
+	}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("line %d: unexpected indentation (indent %d after a block at indent 0)", l.num, l.indent)
+	}
+	return root, nil
+}
+
+// stripComment removes a trailing "# ..." comment: a '#' outside quotes
+// that starts the line or follows whitespace.
+func stripComment(s string) string {
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote != 0:
+			if c == '\\' && inQuote == '"' {
+				i++ // skip the escaped character
+			} else if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseBlock parses the map or list starting at the current line, whose
+// indent must equal indent.
+func (p *yparser) parseBlock(indent int) (*node, error) {
+	l := p.lines[p.pos]
+	if isListItem(l.text) {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func isListItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *yparser) parseMap(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].num, kind: mapNode, fields: map[string]*node{}}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation (expected a key at indent %d)", l.num, indent)
+		}
+		if isListItem(l.text) {
+			break // a sibling list item ends this inline map (list-of-maps case)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := n.fields[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		var child *node
+		switch {
+		case rest != "":
+			child, err = scalarFrom(l.num, rest)
+			if err != nil {
+				return nil, err
+			}
+		case p.pos < len(p.lines) && p.lines[p.pos].indent > indent:
+			child, err = p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		case p.pos < len(p.lines) && p.lines[p.pos].indent == indent && isListItem(p.lines[p.pos].text):
+			// The common YAML style of a list aligned with its key.
+			child, err = p.parseList(indent)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("line %d: key %q has no value (scalar on the same line, or an indented block below)", l.num, key)
+		}
+		n.keys = append(n.keys, key)
+		n.fields[key] = child
+	}
+	return n, nil
+}
+
+func (p *yparser) parseList(indent int) (*node, error) {
+	n := &node{line: p.lines[p.pos].num, kind: listNode}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || !isListItem(l.text) {
+			if l.indent > indent {
+				return nil, fmt.Errorf("line %d: unexpected indentation inside a list (items start with \"- \" at indent %d)", l.num, indent)
+			}
+			break
+		}
+		if l.text == "-" {
+			// Item body is the following deeper-indented block.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("line %d: empty list item", l.num)
+			}
+			item, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, item)
+			continue
+		}
+		body := l.text[2:]
+		for len(body) > 0 && body[0] == ' ' {
+			body = body[1:]
+		}
+		if body == "" {
+			return nil, fmt.Errorf("line %d: empty list item", l.num)
+		}
+		if k, _, err := splitKey(yline{num: l.num, text: body}); err == nil && k != "" {
+			// "- key: value": a map item. Rewrite this line as the map's
+			// first key line at the column where the key actually sits, so
+			// the item's remaining keys (aligned under it) join the block.
+			col := l.indent + (len(l.text) - len(body))
+			p.lines[p.pos] = yline{num: l.num, indent: col, text: body}
+			item, err := p.parseMap(col)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, item)
+			continue
+		}
+		p.pos++
+		item, err := scalarFrom(l.num, body)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+// splitKey splits "key: rest" at the first unquoted colon followed by a
+// space or end of line.
+func splitKey(l yline) (key, rest string, err error) {
+	s := l.text
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\'' {
+			break // quoted scalars cannot start a key in this subset
+		}
+		if s[i] == ':' && (i+1 == len(s) || s[i+1] == ' ') {
+			key = strings.TrimSpace(s[:i])
+			if key == "" {
+				return "", "", fmt.Errorf("line %d: empty key", l.num)
+			}
+			return key, strings.TrimSpace(s[i+1:]), nil
+		}
+	}
+	return "", "", fmt.Errorf("line %d: expected \"key: value\", got %q", l.num, s)
+}
+
+// scalarFrom builds a scalar node, unquoting if needed. Flow collections
+// are rejected explicitly so a stray "[1,2]" fails loudly.
+func scalarFrom(line int, s string) (*node, error) {
+	switch s[0] {
+	case '"':
+		un, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad quoted string %s: %v", line, s, err)
+		}
+		return &node{line: line, kind: scalarNode, scalar: un, quoted: true}, nil
+	case '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("line %d: unterminated single-quoted string", line)
+		}
+		return &node{line: line, kind: scalarNode,
+			scalar: strings.ReplaceAll(s[1:len(s)-1], "''", "'"), quoted: true}, nil
+	case '{', '[':
+		return nil, fmt.Errorf("line %d: flow collections (%q) are not part of the scenario YAML subset; use indented blocks", line, s)
+	case '&', '*':
+		return nil, fmt.Errorf("line %d: anchors and aliases are not part of the scenario YAML subset", line)
+	}
+	return &node{line: line, kind: scalarNode, scalar: s}, nil
+}
+
+// --- JSON ---
+
+// parseJSONTree parses a JSON document into the same line-tracked tree,
+// mapping decoder offsets back to source lines.
+func parseJSONTree(data []byte) (*node, error) {
+	lineAt := lineIndex(data)
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	root, err := decodeJSONValue(dec, lineAt)
+	if err != nil {
+		return nil, err
+	}
+	if tok, err := dec.Token(); err == nil {
+		return nil, fmt.Errorf("line %d: trailing content after the spec document: %v", lineAt(dec.InputOffset()), tok)
+	}
+	return root, nil
+}
+
+// lineIndex returns a byte-offset → 1-based line translator.
+func lineIndex(data []byte) func(int64) int {
+	var starts []int64
+	starts = append(starts, 0)
+	for i, b := range data {
+		if b == '\n' {
+			starts = append(starts, int64(i+1))
+		}
+	}
+	return func(off int64) int {
+		lo, hi := 0, len(starts)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if starts[mid] <= off {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo + 1
+	}
+}
+
+func decodeJSONValue(dec *json.Decoder, lineAt func(int64) int) (*node, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("line %d: %v", lineAt(dec.InputOffset()), err)
+	}
+	line := lineAt(dec.InputOffset())
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			n := &node{line: line, kind: mapNode, fields: map[string]*node{}}
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineAt(dec.InputOffset()), err)
+				}
+				key := keyTok.(string)
+				if _, dup := n.fields[key]; dup {
+					return nil, fmt.Errorf("line %d: duplicate key %q", lineAt(dec.InputOffset()), key)
+				}
+				child, err := decodeJSONValue(dec, lineAt)
+				if err != nil {
+					return nil, err
+				}
+				n.keys = append(n.keys, key)
+				n.fields[key] = child
+			}
+			if _, err := dec.Token(); err != nil { // consume '}'
+				return nil, fmt.Errorf("line %d: %v", lineAt(dec.InputOffset()), err)
+			}
+			return n, nil
+		case '[':
+			n := &node{line: line, kind: listNode}
+			for dec.More() {
+				child, err := decodeJSONValue(dec, lineAt)
+				if err != nil {
+					return nil, err
+				}
+				n.items = append(n.items, child)
+			}
+			if _, err := dec.Token(); err != nil { // consume ']'
+				return nil, fmt.Errorf("line %d: %v", lineAt(dec.InputOffset()), err)
+			}
+			return n, nil
+		}
+		return nil, fmt.Errorf("line %d: unexpected delimiter %v", line, t)
+	case string:
+		return &node{line: line, kind: scalarNode, scalar: t, quoted: true}, nil
+	case json.Number:
+		return &node{line: line, kind: scalarNode, scalar: t.String()}, nil
+	case bool:
+		return &node{line: line, kind: scalarNode, scalar: strconv.FormatBool(t)}, nil
+	case nil:
+		return nil, fmt.Errorf("line %d: null is not a valid scenario value", line)
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %v", line, tok)
+}

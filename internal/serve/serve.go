@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -51,12 +52,75 @@ type Server struct {
 	stepWall   time.Duration // wall time inside Step
 	allocBytes uint64        // heap bytes allocated across Step calls
 
+	// Periodic auto-checkpointing (EnableAutoCheckpoint): every autoEvery
+	// rounds a checkpoint lands in autoDir, retaining the autoKeep newest.
+	autoDir   string
+	autoEvery int
+	autoKeep  int
+	autoCount int64  // checkpoints written by this process
+	autoLast  string // most recent auto-checkpoint path
+	autoErr   error  // most recent auto-checkpoint failure, nil when healthy
+
 	restored bool // whether sys came from a checkpoint
 }
 
 // New wraps sys (fresh or restored from a checkpoint) in a server.
 func New(sys *vod.System, restored bool) *Server {
 	return &Server{sys: sys, restored: restored}
+}
+
+// EnableAutoCheckpoint turns on periodic checkpointing: after every
+// `every`-th round the engine reaches, a checkpoint is written atomically
+// to dir as ckpt-<round>.vodckpt and only the `keep` newest are retained.
+// A failed write never fails the round — the error is surfaced through
+// /metrics and the next interval retries.
+func (s *Server) EnableAutoCheckpoint(dir string, every, keep int) error {
+	if every <= 0 {
+		return fmt.Errorf("serve: checkpoint interval must be positive, got %d", every)
+	}
+	if keep <= 0 {
+		return fmt.Errorf("serve: checkpoint retention must be positive, got %d", keep)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.autoDir, s.autoEvery, s.autoKeep = dir, every, keep
+	return nil
+}
+
+// autoCheckpointLocked writes the periodic checkpoint for `round` and
+// prunes beyond the retention limit. Caller holds s.mu.
+func (s *Server) autoCheckpointLocked(round int) {
+	path := filepath.Join(s.autoDir, fmt.Sprintf("ckpt-%09d.vodckpt", round))
+	if _, err := s.checkpointLocked(path); err != nil {
+		s.autoErr = err
+		return
+	}
+	s.autoErr = nil
+	s.autoLast = path
+	s.autoCount++
+	s.pruneCheckpointsLocked()
+}
+
+// pruneCheckpointsLocked removes the oldest auto-checkpoints past the
+// retention limit. Zero-padded round numbers make the lexicographic
+// directory order the chronological one.
+func (s *Server) pruneCheckpointsLocked() {
+	entries, err := filepath.Glob(filepath.Join(s.autoDir, "ckpt-*.vodckpt"))
+	if err != nil {
+		s.autoErr = err
+		return
+	}
+	sort.Strings(entries)
+	for len(entries) > s.autoKeep {
+		if err := os.Remove(entries[0]); err != nil {
+			s.autoErr = err
+			return
+		}
+		entries = entries[1:]
+	}
 }
 
 // drainGen feeds the queued demands to the engine. Next runs inside
@@ -95,6 +159,9 @@ func (s *Server) stepLocked(n int) ([]vod.StepResult, error) {
 			return results, err
 		}
 		results = append(results, res)
+		if s.autoEvery > 0 && s.sys.Round()%s.autoEvery == 0 {
+			s.autoCheckpointLocked(s.sys.Round())
+		}
 	}
 	s.stepWall += time.Since(start)
 	s.stepRounds += int64(n)
@@ -109,6 +176,10 @@ func (s *Server) stepLocked(n int) ([]vod.StepResult, error) {
 func (s *Server) Checkpoint(path string) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.checkpointLocked(path)
+}
+
+func (s *Server) checkpointLocked(path string) (int64, error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".vodckpt-*")
 	if err != nil {
@@ -153,6 +224,9 @@ type Metrics struct {
 	RoundsPerSec    float64          `json:"rounds_per_sec"`
 	AllocsPerRound  uint64           `json:"alloc_bytes_per_round"`
 	SteppedRounds   int64            `json:"stepped_rounds"`
+	AutoCheckpoints int64            `json:"auto_checkpoints,omitempty"`
+	LastCheckpoint  string           `json:"last_checkpoint,omitempty"`
+	CheckpointError string           `json:"checkpoint_error,omitempty"`
 }
 
 func (s *Server) metricsLocked() Metrics {
@@ -163,21 +237,26 @@ func (s *Server) metricsLocked() Metrics {
 		mode = fmt.Sprintf("sharded-%d", sh)
 	}
 	m := Metrics{
-		Round:          s.sys.Round(),
-		Restored:       s.restored,
-		MatcherMode:    mode,
-		LiveRequests:   view.ActiveRequests(),
-		IdleBoxes:      view.NumIdle(),
-		PendingDemands: len(s.pending),
-		Demands:        rep.Demands,
-		Admitted:       rep.Admitted,
-		RejectedBusy:   rep.RejectedBusy,
-		RejectedSwarm:  rep.RejectedSwarm,
-		Completed:      rep.CompletedViewings,
-		Stalls:         rep.Stalls,
-		Obstructions:   len(rep.Obstructions),
-		Failed:         rep.Failed,
-		SteppedRounds:  s.stepRounds,
+		Round:           s.sys.Round(),
+		Restored:        s.restored,
+		MatcherMode:     mode,
+		LiveRequests:    view.ActiveRequests(),
+		IdleBoxes:       view.NumIdle(),
+		PendingDemands:  len(s.pending),
+		Demands:         rep.Demands,
+		Admitted:        rep.Admitted,
+		RejectedBusy:    rep.RejectedBusy,
+		RejectedSwarm:   rep.RejectedSwarm,
+		Completed:       rep.CompletedViewings,
+		Stalls:          rep.Stalls,
+		Obstructions:    len(rep.Obstructions),
+		Failed:          rep.Failed,
+		SteppedRounds:   s.stepRounds,
+		AutoCheckpoints: s.autoCount,
+		LastCheckpoint:  s.autoLast,
+	}
+	if s.autoErr != nil {
+		m.CheckpointError = s.autoErr.Error()
 	}
 	if n := len(rep.Obstructions); n > 0 {
 		m.LastObstruction = &rep.Obstructions[n-1]

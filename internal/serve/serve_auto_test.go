@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	vod "repro"
+)
+
+func autoTestServer(t *testing.T) *Server {
+	t.Helper()
+	sys, err := vod.New(vod.Spec{Boxes: 30, Upload: 2.0, Duration: 8, Resilient: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sys, false)
+}
+
+func listCheckpoints(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := filepath.Glob(filepath.Join(dir, "ckpt-*.vodckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// TestAutoCheckpointCadenceAndRetention steps 17 rounds at every=5 keep=2:
+// checkpoints land at rounds 5, 10, 15 and only the two newest survive.
+func TestAutoCheckpointCadenceAndRetention(t *testing.T) {
+	srv := autoTestServer(t)
+	dir := t.TempDir()
+	if err := srv.EnableAutoCheckpoint(dir, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Queue some demands so the checkpoints carry real state.
+	srv.mu.Lock()
+	for b := 0; b < 10; b++ {
+		srv.pending = append(srv.pending, vod.Demand{Box: b, Video: vod.VideoID(b % 3)})
+	}
+	srv.mu.Unlock()
+	if _, err := srv.StepRounds(17); err != nil {
+		t.Fatal(err)
+	}
+	got := listCheckpoints(t, dir)
+	want := []string{
+		filepath.Join(dir, "ckpt-000000010.vodckpt"),
+		filepath.Join(dir, "ckpt-000000015.vodckpt"),
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("retained checkpoints %v, want %v", got, want)
+	}
+	srv.mu.Lock()
+	m := srv.metricsLocked()
+	srv.mu.Unlock()
+	if m.AutoCheckpoints != 3 {
+		t.Errorf("auto_checkpoints = %d, want 3 (rounds 5, 10, 15)", m.AutoCheckpoints)
+	}
+	if m.LastCheckpoint != want[1] {
+		t.Errorf("last_checkpoint = %q, want %q", m.LastCheckpoint, want[1])
+	}
+	if m.CheckpointError != "" {
+		t.Errorf("unexpected checkpoint error %q", m.CheckpointError)
+	}
+}
+
+// TestAutoCheckpointRestore restores the newest auto-checkpoint into a
+// fresh process and checks the continuation is bit-identical to the
+// uninterrupted run.
+func TestAutoCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+
+	run := func(auto bool) (*Server, []vod.StepResult) {
+		srv := autoTestServer(t)
+		if auto {
+			if err := srv.EnableAutoCheckpoint(dir, 4, 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv.mu.Lock()
+		for b := 0; b < 12; b++ {
+			srv.pending = append(srv.pending, vod.Demand{Box: b, Video: vod.VideoID(b % 4)})
+		}
+		srv.mu.Unlock()
+		if _, err := srv.StepRounds(12); err != nil {
+			t.Fatal(err)
+		}
+		res, err := srv.StepRounds(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, res
+	}
+
+	_, wantTail := run(true)
+
+	// The newest retained checkpoint is from round 16 (StepRounds(12) then
+	// part of the tail); restore the round-12 one and replay the tail.
+	ckpt := filepath.Join(dir, "ckpt-000000012.vodckpt")
+	f, err := os.Open(ckpt)
+	if err != nil {
+		t.Fatalf("expected retained checkpoint at %s: %v", ckpt, err)
+	}
+	sys, err := vod.LoadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Round() != 12 {
+		t.Fatalf("restored round %d, want 12", sys.Round())
+	}
+	restored := New(sys, true)
+	gotTail, err := restored.StepRounds(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uninterrupted run's final 6 rounds and the restored run's 6
+	// rounds cover the same round numbers with no queued demands: their
+	// StepResults must agree exactly.
+	if len(gotTail) != len(wantTail) {
+		t.Fatalf("tail lengths differ: %d vs %d", len(gotTail), len(wantTail))
+	}
+	for i := range gotTail {
+		if gotTail[i] != wantTail[i] {
+			t.Fatalf("round %d diverged after restore:\ngot  %+v\nwant %+v", i, gotTail[i], wantTail[i])
+		}
+	}
+}
+
+// TestAutoCheckpointValidation rejects nonsensical configurations.
+func TestAutoCheckpointValidation(t *testing.T) {
+	srv := autoTestServer(t)
+	if err := srv.EnableAutoCheckpoint(t.TempDir(), 0, 2); err == nil {
+		t.Error("accepted interval 0")
+	}
+	if err := srv.EnableAutoCheckpoint(t.TempDir(), 5, 0); err == nil {
+		t.Error("accepted retention 0")
+	}
+}

@@ -104,6 +104,11 @@ type Spec struct {
 	// deliberately NOT defaulted to GOMAXPROCS so single-run experiments
 	// stay single-threaded unless asked.
 	Shards int
+	// LazyShardRights defers sharded right-space registration to first
+	// touch instead of pre-registering from the allocation. Only worth
+	// setting for extreme populations where ~Shards×Boxes right records
+	// would dominate memory; results are identical either way.
+	LazyShardRights bool
 	// Seed drives the random allocation (and nothing else).
 	Seed uint64
 }
@@ -200,6 +205,7 @@ func New(spec Spec) (*System, error) {
 		DisableCacheServing: spec.SourcingOnly,
 		TraceRounds:         spec.Trace,
 		Shards:              spec.Shards,
+		LazyShardRights:     spec.LazyShardRights,
 	}
 	if spec.Resilient {
 		cfg.Failure = core.FailStall
