@@ -115,6 +115,23 @@ func (a *benchAdj) VisitServers(l int, fn func(int) bool) {
 	}
 }
 
+// BeginServers/NextServer implement bipartite.CursorAdjacency so matcher
+// benchmarks exercise the same cursor path the engine adjacencies use.
+func (a *benchAdj) BeginServers(l int, c *bipartite.Cursor) {
+	c.Left = int32(l)
+	c.Index = 0
+}
+
+func (a *benchAdj) NextServer(c *bipartite.Cursor) int {
+	ns := a.neighbors[c.Left]
+	if int(c.Index) >= len(ns) {
+		return -1
+	}
+	r := ns[c.Index]
+	c.Index++
+	return int(r)
+}
+
 func (a *benchAdj) CanServe(l, r int) bool {
 	for _, x := range a.neighbors[l] {
 		if int(x) == r {
@@ -310,12 +327,13 @@ type sweepArrivals struct {
 	perRound  int
 	nextBox   int
 	nextVideo int
+	out       []Demand // reused across rounds (the engine consumes it before the next Next)
 }
 
 func (g *sweepArrivals) Next(v *View, _ int) []Demand {
 	cat := v.Catalog()
 	n := v.NumBoxes()
-	out := make([]Demand, 0, g.perRound)
+	out := g.out[:0]
 	for tries := 0; tries < 2*g.perRound && len(out) < g.perRound; tries++ {
 		box := g.nextBox % n
 		g.nextBox++
@@ -329,6 +347,7 @@ func (g *sweepArrivals) Next(v *View, _ int) []Demand {
 		}
 		out = append(out, Demand{Box: box, Video: vid})
 	}
+	g.out = out
 	return out
 }
 

@@ -14,11 +14,13 @@
 //	vodsim -n 500 -u 1.5 -seeds 16 …                       # 16 replicas in parallel
 //	vodsim -scenario spec.yaml                             # declarative scenario run
 //	vodsim -scenario spec.yaml -golden want.txt            # …diffed against a golden
+//	vodsim -scenario spec.yaml -seeds 8                    # seed sweep with aggregate summary
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 
@@ -73,6 +75,17 @@ func main() {
 	})
 
 	if *scenPath != "" {
+		if *seeds > 1 {
+			if *goldenPath != "" {
+				fmt.Fprintln(os.Stderr, "vodsim: -golden compares a single run; it is incompatible with -seeds")
+				os.Exit(1)
+			}
+			if err := runScenarioSeeds(*scenPath, *seed, seedSet, *seeds, *workers, *shards); err != nil {
+				fmt.Fprintln(os.Stderr, "vodsim:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := runScenario(*scenPath, *goldenPath, *seed, seedSet, *shards); err != nil {
 			fmt.Fprintln(os.Stderr, "vodsim:", err)
 			os.Exit(1)
@@ -259,6 +272,85 @@ func runScenario(path, golden string, seed uint64, seedSet bool, shards int) err
 	}
 	fmt.Printf("scenario %s matches golden %s\n", spec.Name, golden)
 	return nil
+}
+
+// runScenarioSeeds runs a scenario under `seeds` consecutive seeds (base,
+// base+1, …) on a worker pool and prints a per-seed outcome table plus the
+// mean/min/max of every golden counter — a quick sensitivity read on how
+// much of a scenario's golden summary is seed-luck versus configuration.
+func runScenarioSeeds(path string, seed uint64, seedSet bool, seeds, workers, shards int) error {
+	spec, err := scenario.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	base := spec.Seed
+	if seedSet {
+		base = seed
+	}
+	results := make([]*scenario.Result, seeds)
+	pool := workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	err = experiments.ForEach(pool, seeds, func(i int) error {
+		res, err := scenario.Run(spec, scenario.RunOptions{Seed: base + uint64(i), Shards: shards})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", base+uint64(i), err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario seed sweep: %s, %d seeds (%d…%d), boxes=%d rounds=%d\n",
+		spec.Name, seeds, base, base+uint64(seeds)-1, results[0].Expanded.VodSpec.Boxes, spec.TotalRounds())
+	tbl := report.New("per-seed outcomes", "seed", "admitted", "completed", "stalls", "obstructions", "util", "startup mean")
+	for i, res := range results {
+		rep := res.Report
+		tbl.AddRowValues(int(base)+i, float64(rep.Admitted), float64(rep.CompletedViewings),
+			float64(rep.Stalls), float64(len(rep.Obstructions)), rep.MeanUtilization, rep.StartupDelay.Mean)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	// Aggregate every counter of the golden summary across seeds.
+	counters := []struct {
+		name string
+		get  func(rep vod.Report) float64
+	}{
+		{"demands", func(r vod.Report) float64 { return float64(r.Demands) }},
+		{"admitted", func(r vod.Report) float64 { return float64(r.Admitted) }},
+		{"rejected-busy", func(r vod.Report) float64 { return float64(r.RejectedBusy) }},
+		{"rejected-swarm", func(r vod.Report) float64 { return float64(r.RejectedSwarm) }},
+		{"completed", func(r vod.Report) float64 { return float64(r.CompletedViewings) }},
+		{"stalls", func(r vod.Report) float64 { return float64(r.Stalls) }},
+		{"obstructions", func(r vod.Report) float64 { return float64(len(r.Obstructions)) }},
+		{"peak-requests", func(r vod.Report) float64 { return float64(r.PeakRequests) }},
+		{"max-swarm", func(r vod.Report) float64 { return float64(r.MaxSwarm) }},
+		{"mean-utilization", func(r vod.Report) float64 { return r.MeanUtilization }},
+		{"startup-mean", func(r vod.Report) float64 { return r.StartupDelay.Mean }},
+		{"startup-p99", func(r vod.Report) float64 { return r.StartupDelay.P99 }},
+	}
+	fmt.Println()
+	agg := report.New("aggregate over seeds", "counter", "mean", "min", "max")
+	for _, c := range counters {
+		sum, min, max := 0.0, math.Inf(1), math.Inf(-1)
+		for _, res := range results {
+			v := c.get(res.Report)
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		agg.AddRowValues(c.name, sum/float64(seeds), min, max)
+	}
+	return agg.WriteText(os.Stdout)
 }
 
 // runReplicas runs `seeds` independent simulations (allocation and

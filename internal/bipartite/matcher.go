@@ -128,6 +128,20 @@ type Matcher struct {
 	// right, so the cache lives until the left ID is recycled by AddLeft.
 	stableTo []int32
 
+	// trav owns the per-depth traversal frames every search enumerates
+	// servers through (see cursor.go); bound to the caller's adjacency at
+	// each public entry point, reused across rounds.
+	trav traverser
+
+	// listArena backs freshly touched rightLefts lists: first assignments
+	// carve capacity from large shared blocks instead of allocating each
+	// per-right list individually. Fresh-video churn touches new rights
+	// every round, so without the arena that first touch is a guaranteed
+	// steady-state allocation per right. Lists that outgrow their carve
+	// migrate off-arena via plain append (their carved region is simply
+	// abandoned); the arena itself only ever grows by whole blocks.
+	listArena []int32
+
 	// Assignment log for event-driven callers: when enabled, every left
 	// that receives an assignment (including intermediate moves along
 	// augmenting paths) is appended here, so the caller can re-derive its
@@ -283,9 +297,39 @@ func (m *Matcher) Server(l int) int {
 	return int(m.assigned[l])
 }
 
+// listArenaBlock is the arena growth quantum (int32s per block) and
+// maxListCarve the largest per-right carve: enough for typical box
+// capacities (u·c slots) to never migrate, small enough that a carve per
+// touched right stays cheap at ten-million-box populations.
+const (
+	listArenaBlock = 1 << 16
+	maxListCarve   = 16
+)
+
+// carveList returns a fresh zero-length list with capacity n carved from
+// the arena, growing the arena by one block when the current one is spent.
+func (m *Matcher) carveList(n int) []int32 {
+	if cap(m.listArena)-len(m.listArena) < n {
+		m.listArena = make([]int32, 0, listArenaBlock)
+	}
+	base := len(m.listArena)
+	m.listArena = m.listArena[:base+n]
+	return m.listArena[base : base : base+n]
+}
+
 func (m *Matcher) assign(l, r int) {
 	if m.assigned[l] != Unassigned {
 		m.unassign(l)
+	}
+	if m.rightLefts[r] == nil {
+		n := int(m.rights[r].cap)
+		if n > maxListCarve {
+			n = maxListCarve
+		}
+		if n < 1 {
+			n = 1
+		}
+		m.rightLefts[r] = m.carveList(n)
 	}
 	m.assigned[l] = int32(r)
 	m.posInRight[l] = int32(len(m.rightLefts[r]))
@@ -480,6 +524,7 @@ func (m *Matcher) DrainTouched(dst []int32) []int32 {
 // DrainAssigned convention): it is valid until the next AugmentAll call
 // and must not be retained across rounds.
 func (m *Matcher) AugmentAll(adj Adjacency) []int {
+	m.trav.bind(adj)
 	todo := m.todo[:0]
 	for _, l := range m.dirty {
 		m.inDirty[l] = false
@@ -521,7 +566,7 @@ func (m *Matcher) augmentSerial(adj Adjacency, todo []int32) []int32 {
 				rest = append(rest, l)
 				continue
 			}
-			if m.augment(adj, int(l)) {
+			if m.augment(int(l)) {
 				progressed = true
 			} else {
 				rest = append(rest, l)
@@ -559,21 +604,21 @@ func (m *Matcher) augmentBatch(adj Adjacency, todo []int32) []int32 {
 			continue
 		}
 		assigned := false
-		adj.VisitServers(int(l), func(r int) bool {
+		m.trav.begin(l, 0)
+		for r := m.trav.next(0); r >= 0; r = m.trav.next(0) {
 			if m.rights[r].load < m.rights[r].cap {
 				m.assign(int(l), r)
 				assigned = true
-				return false
+				break
 			}
-			return true
-		})
+		}
 		if !assigned {
 			rest = append(rest, l)
 		}
 	}
 	todo = rest
 	for len(todo) > 0 {
-		if !m.bfsLayer(adj, todo, hinter, hinted) {
+		if !m.bfsLayer(todo, hinter, hinted) {
 			break // no free right reachable: the matching is maximum
 		}
 		if m.maxLevel > maxBatchDepth {
@@ -594,7 +639,7 @@ func (m *Matcher) augmentBatch(adj Adjacency, todo []int32) []int32 {
 				continue
 			}
 			m.usedL[l] = m.epoch
-			if m.dfsAugment(adj, l, 0) {
+			if m.dfsAugment(l, 0) {
 				progressed = true
 			}
 		}
@@ -619,7 +664,7 @@ func (m *Matcher) augmentBatch(adj Adjacency, todo []int32) []int32 {
 // right with spare capacity appears (all shortest augmenting paths end
 // there), recorded in maxLevel. Reports whether any free right was
 // reached.
-func (m *Matcher) bfsLayer(adj Adjacency, frontier []int32, hinter Hinted, hinted bool) bool {
+func (m *Matcher) bfsLayer(frontier []int32, hinter Hinted, hinted bool) bool {
 	m.beginSearch()
 	q := m.queue[:0]
 	for _, l := range frontier {
@@ -638,10 +683,11 @@ func (m *Matcher) bfsLayer(adj Adjacency, frontier []int32, hinter Hinted, hinte
 		for i := layerStart; i < layerEnd; i++ {
 			l := q[i]
 			d := m.levelL[l]
-			adj.VisitServers(int(l), func(r int) bool {
+			m.trav.begin(l, 0)
+			for r := m.trav.next(0); r >= 0; r = m.trav.next(0) {
 				rr := &m.rights[r]
 				if rr.visit == m.epoch {
-					return true
+					continue
 				}
 				rr.visit = m.epoch
 				rr.level = d
@@ -651,7 +697,7 @@ func (m *Matcher) bfsLayer(adj Adjacency, frontier []int32, hinter Hinted, hinte
 					// expanding deeper.
 					found = true
 					m.maxLevel = d
-					return true
+					continue
 				}
 				if !found {
 					for _, l2 := range m.rightLefts[r] {
@@ -662,8 +708,7 @@ func (m *Matcher) bfsLayer(adj Adjacency, frontier []int32, hinter Hinted, hinte
 						}
 					}
 				}
-				return true
-			})
+			}
 		}
 		if found {
 			break
@@ -683,12 +728,12 @@ func (m *Matcher) bfsLayer(adj Adjacency, frontier []int32, hinter Hinted, hinte
 // rights are stamped done and dead for the rest of the phase; each left
 // is consumed at most once (vertex-disjoint paths), which is what makes
 // the phase a blocking flow.
-func (m *Matcher) dfsAugment(adj Adjacency, l int32, d int32) bool {
-	ok := false
-	adj.VisitServers(int(l), func(r int) bool {
+func (m *Matcher) dfsAugment(l int32, d int32) bool {
+	m.trav.begin(l, d)
+	for r := m.trav.next(d); r >= 0; r = m.trav.next(d) {
 		rr := &m.rights[r]
 		if rr.visit != m.epoch || rr.level != d || rr.done == m.epoch {
-			return true
+			continue
 		}
 		if rr.load < rr.cap {
 			if m.assigned[l] == Unassigned {
@@ -696,8 +741,7 @@ func (m *Matcher) dfsAugment(adj Adjacency, l int32, d int32) bool {
 			} else {
 				m.move(int(l), r)
 			}
-			ok = true
-			return false
+			return true
 		}
 		if d < m.maxLevel {
 			lefts := m.rightLefts[r]
@@ -706,28 +750,26 @@ func (m *Matcher) dfsAugment(adj Adjacency, l int32, d int32) bool {
 					continue
 				}
 				m.usedL[l2] = m.epoch
-				if m.dfsAugment(adj, l2, d+1) {
+				if m.dfsAugment(l2, d+1) {
 					// l2 vacated one of r's slots; take it.
 					if m.assigned[l] == Unassigned {
 						m.assign(int(l), r)
 					} else {
 						m.move(int(l), r)
 					}
-					ok = true
-					return false
+					return true
 				}
 			}
 		}
 		rr.done = m.epoch
-		return true
-	})
-	return ok
+	}
+	return false
 }
 
 // augment searches one alternating BFS tree rooted at unmatched left root
 // and applies the augmenting path if a right node with spare capacity is
 // found.
-func (m *Matcher) augment(adj Adjacency, root int) bool {
+func (m *Matcher) augment(root int) bool {
 	m.beginSearch()
 	m.queue = m.queue[:0]
 	m.queue = append(m.queue, int32(root))
@@ -736,16 +778,17 @@ func (m *Matcher) augment(adj Adjacency, root int) bool {
 	for head := 0; head < len(m.queue); head++ {
 		l := m.queue[head]
 		found := -1
-		adj.VisitServers(int(l), func(r int) bool {
+		m.trav.begin(l, 0)
+		for r := m.trav.next(0); r >= 0; r = m.trav.next(0) {
 			rr := &m.rights[r]
 			if rr.visit == m.epoch {
-				return true
+				continue
 			}
 			rr.visit = m.epoch
 			rr.parentLeft = l
 			if rr.load < rr.cap {
 				found = r
-				return false
+				break
 			}
 			for _, l2 := range m.rightLefts[r] {
 				if m.visitL[l2] != m.epoch {
@@ -753,8 +796,7 @@ func (m *Matcher) augment(adj Adjacency, root int) bool {
 					m.queue = append(m.queue, l2)
 				}
 			}
-			return true
-		})
+		}
 		if found >= 0 {
 			m.applyPath(found)
 			return true
@@ -811,6 +853,7 @@ func (m *Matcher) beginSearch() {
 // unmatched slice is updated in place (each displacement swaps a root for
 // its victim) and returned re-sorted; cardinality never changes.
 func (m *Matcher) CanonicalizeDeficit(adj Adjacency, unmatched []int) []int {
+	m.trav.bind(adj)
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(unmatched); i++ {
@@ -855,17 +898,19 @@ func (m *Matcher) displace(adj Adjacency, root int) (int, bool) {
 	for head := 0; head < len(m.queue); head++ {
 		l := m.queue[head]
 		victim, server := -1, -1
-		adj.VisitServers(int(l), func(r int) bool {
+		m.trav.begin(l, 0)
+	probe:
+		for r := m.trav.next(0); r >= 0; r = m.trav.next(0) {
 			rr := &m.rights[r]
 			if rr.visit == m.epoch {
-				return true
+				continue
 			}
 			rr.visit = m.epoch
 			rr.parentLeft = l
 			if rr.load < rr.cap {
 				// The matching was not maximum after all: plain augment.
 				server = r
-				return false
+				break
 			}
 			for _, l2 := range m.rightLefts[r] {
 				if m.visitL[l2] == m.epoch {
@@ -874,12 +919,11 @@ func (m *Matcher) displace(adj Adjacency, root int) (int, bool) {
 				m.visitL[l2] = m.epoch
 				if int(l2) > root {
 					victim, server = int(l2), r
-					return false
+					break probe
 				}
 				m.queue = append(m.queue, l2)
 			}
-			return true
-		})
+		}
 		if server >= 0 {
 			if victim >= 0 {
 				m.unassign(victim)
@@ -905,6 +949,7 @@ type Violator struct {
 // from all unmatched lefts; the reached lefts X and rights B(X) satisfy
 // U_B(X) < |X| (in slots). Returns nil if every active left is matched.
 func (m *Matcher) HallViolator(adj Adjacency) *Violator {
+	m.trav.bind(adj)
 	m.beginSearch()
 	m.queue = m.queue[:0]
 	m.reachedR = m.reachedR[:0]
@@ -919,9 +964,10 @@ func (m *Matcher) HallViolator(adj Adjacency) *Violator {
 	}
 	for head := 0; head < len(m.queue); head++ {
 		l := m.queue[head]
-		adj.VisitServers(int(l), func(r int) bool {
+		m.trav.begin(l, 0)
+		for r := m.trav.next(0); r >= 0; r = m.trav.next(0) {
 			if m.rights[r].visit == m.epoch {
-				return true
+				continue
 			}
 			m.rights[r].visit = m.epoch
 			m.reachedR = append(m.reachedR, int32(r))
@@ -931,8 +977,7 @@ func (m *Matcher) HallViolator(adj Adjacency) *Violator {
 					m.queue = append(m.queue, l2)
 				}
 			}
-			return true
-		})
+		}
 	}
 	v := &Violator{
 		Lefts:  make([]int, len(m.queue)),

@@ -62,6 +62,10 @@ type Sharded struct {
 	lvisit  []uint32
 	queue   []int32
 	reached []int32
+
+	// trav owns the reusable traversal frames for the serial global
+	// searches (see cursor.go); bound at each public entry point.
+	trav traverser
 }
 
 // NewSharded builds a coordinator over the given box capacities with the
@@ -326,7 +330,7 @@ func (sh *Sharded) applyPath(g int) {
 // augmentOne runs one alternating BFS from an unmatched root over the
 // global graph (true capacities, cross-shard expansions) and applies the
 // augmenting path if a box with spare capacity is reached.
-func (sh *Sharded) augmentOne(adj Adjacency, root int) bool {
+func (sh *Sharded) augmentOne(root int) bool {
 	sh.beginSearch()
 	sh.queue = sh.queue[:0]
 	sh.queue = append(sh.queue, int32(root))
@@ -334,19 +338,19 @@ func (sh *Sharded) augmentOne(adj Adjacency, root int) bool {
 	for head := 0; head < len(sh.queue); head++ {
 		l := sh.queue[head]
 		found := -1
-		adj.VisitServers(int(l), func(r int) bool {
+		sh.trav.begin(l, 0)
+		for r := sh.trav.next(0); r >= 0; r = sh.trav.next(0) {
 			if sh.rvisit[r] == sh.epoch {
-				return true
+				continue
 			}
 			sh.rvisit[r] = sh.epoch
 			sh.rparent[r] = l
 			if sh.gload[r] < sh.gcap[r] {
 				found = r
-				return false
+				break
 			}
 			sh.expand(int32(r))
-			return true
-		})
+		}
 		if found >= 0 {
 			sh.applyPath(found)
 			return true
@@ -364,6 +368,7 @@ func (sh *Sharded) augmentOne(adj Adjacency, root int) bool {
 // The returned slice is coordinator-owned scratch (the DrainAssigned
 // convention): valid until the next GlobalAugment call only.
 func (sh *Sharded) GlobalAugment(adj Adjacency, spill []int, shardUnmatched [][]int) []int {
+	sh.trav.bind(adj)
 	hinter, hinted := adj.(Hinted)
 	roots := sh.roots[:0]
 	roots = append(roots, spill...)
@@ -379,7 +384,7 @@ func (sh *Sharded) GlobalAugment(adj Adjacency, spill []int, shardUnmatched [][]
 				rest = append(rest, l)
 				continue
 			}
-			if sh.augmentOne(adj, l) {
+			if sh.augmentOne(l) {
 				progressed = true
 			} else {
 				rest = append(rest, l)
@@ -405,6 +410,7 @@ func (sh *Sharded) GlobalAugment(adj Adjacency, spill []int, shardUnmatched [][]
 // the fixpoint is unique, the serial engine and every shard count agree
 // on exactly which requests stall.
 func (sh *Sharded) CanonicalizeDeficit(adj Adjacency, unmatched []int) []int {
+	sh.trav.bind(adj)
 	for changed := true; changed; {
 		changed = false
 		for i := 0; i < len(unmatched); i++ {
@@ -443,15 +449,17 @@ func (sh *Sharded) displace(adj Adjacency, root int) (int, bool) {
 	for head := 0; head < len(sh.queue); head++ {
 		l := sh.queue[head]
 		victim, server := -1, -1
-		adj.VisitServers(int(l), func(r int) bool {
+		sh.trav.begin(l, 0)
+	probe:
+		for r := sh.trav.next(0); r >= 0; r = sh.trav.next(0) {
 			if sh.rvisit[r] == sh.epoch {
-				return true
+				continue
 			}
 			sh.rvisit[r] = sh.epoch
 			sh.rparent[r] = l
 			if sh.gload[r] < sh.gcap[r] {
 				server = r
-				return false
+				break
 			}
 			for s := range sh.subs {
 				lr := sh.g2l[s][r]
@@ -465,13 +473,12 @@ func (sh *Sharded) displace(adj Adjacency, root int) (int, bool) {
 					sh.lvisit[l2] = sh.epoch
 					if int(l2) > root {
 						victim, server = int(l2), r
-						return false
+						break probe
 					}
 					sh.queue = append(sh.queue, l2)
 				}
 			}
-			return true
-		})
+		}
 		if server >= 0 {
 			if victim >= 0 {
 				vs := int(sh.leftShard[victim])
@@ -495,6 +502,7 @@ func (sh *Sharded) HallViolator(adj Adjacency, unmatched []int) *Violator {
 	if len(unmatched) == 0 {
 		return nil
 	}
+	sh.trav.bind(adj)
 	sh.beginSearch()
 	sh.queue = sh.queue[:0]
 	sh.reached = sh.reached[:0]
@@ -506,15 +514,15 @@ func (sh *Sharded) HallViolator(adj Adjacency, unmatched []int) *Violator {
 	}
 	for head := 0; head < len(sh.queue); head++ {
 		l := sh.queue[head]
-		adj.VisitServers(int(l), func(r int) bool {
+		sh.trav.begin(l, 0)
+		for r := sh.trav.next(0); r >= 0; r = sh.trav.next(0) {
 			if sh.rvisit[r] == sh.epoch {
-				return true
+				continue
 			}
 			sh.rvisit[r] = sh.epoch
 			sh.reached = append(sh.reached, int32(r))
 			sh.expand(int32(r))
-			return true
-		})
+		}
 	}
 	v := &Violator{
 		Lefts:  make([]int, len(sh.queue)),

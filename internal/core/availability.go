@@ -78,6 +78,20 @@ type availabilityStore interface {
 	// visitLocal is visit with each box's cached shard-local right id
 	// (-1 when no translator resolved it at add time).
 	visitLocal(st video.StripeID, exclude int32, need int32, reqProgress []int32, fn func(right int, local int32) bool)
+	// visitHead returns the starting position of stripe st's entry walk
+	// for visitStep — an implementation-defined token, not a box id.
+	// Together they are the pull-style (cursor) form of visit, used by
+	// the adjacency's bipartite.CursorAdjacency implementation so the
+	// matcher's searches enumerate servers without callback closures.
+	// The emitted sequence is exactly visit's; positions stay valid as
+	// long as the store is quiescent (no add/retire/expire), which holds
+	// throughout the matching phase.
+	visitHead(st video.StripeID) int32
+	// visitStep scans from position h for the next entry of st passing
+	// visit's filter (box != exclude, chunks > need), returning its box,
+	// its cached shard-local right id (-1 when unresolved), and the
+	// position after it. Exhaustion returns box -1.
+	visitStep(st video.StripeID, h int32, exclude int32, need int32, reqProgress []int32) (box, local, next int32)
 	// canServe reports whether box has an entry for st with progress
 	// beyond need.
 	canServe(st video.StripeID, box int32, need int32, reqProgress []int32) bool
@@ -362,6 +376,18 @@ func (ix *indexedAvailability) visitLocal(st video.StripeID, exclude int32, need
 			}
 		}
 	}
+}
+
+func (ix *indexedAvailability) visitHead(st video.StripeID) int32 { return ix.byStripe[st] }
+
+func (ix *indexedAvailability) visitStep(st video.StripeID, h int32, exclude int32, need int32, reqProgress []int32) (int32, int32, int32) {
+	for id := h; id >= 0; id = ix.slab[id].next {
+		e := &ix.slab[id]
+		if e.box != exclude && entryChunks(&e.entry, reqProgress) > need {
+			return e.box, e.boxLocal, e.next
+		}
+	}
+	return -1, -1, -1
 }
 
 func (ix *indexedAvailability) canServe(st video.StripeID, box int32, need int32, reqProgress []int32) bool {

@@ -94,6 +94,23 @@ func (na *naiveAvailability) visitLocal(st video.StripeID, exclude int32, need i
 	}
 }
 
+// visitHead returns position 0: the naive walk is a plain index scan of
+// the stripe's insertion-ordered slice.
+func (na *naiveAvailability) visitHead(st video.StripeID) int32 { return 0 }
+
+// visitStep emits local = -1 like visitLocal: the naive store caches no
+// shard-local ids.
+func (na *naiveAvailability) visitStep(st video.StripeID, h int32, exclude int32, need int32, reqProgress []int32) (int32, int32, int32) {
+	es := na.entries[st]
+	for i := h; int(i) < len(es); i++ {
+		e := &es[i]
+		if e.box != exclude && entryChunks(e, reqProgress) > need {
+			return e.box, -1, i + 1
+		}
+	}
+	return -1, -1, -1
+}
+
 func (na *naiveAvailability) canServe(st video.StripeID, box int32, need int32, reqProgress []int32) bool {
 	for i := range na.entries[st] {
 		e := &na.entries[st][i]

@@ -213,11 +213,13 @@ func (s *System) DecodeState(r *ckpt.Reader) error {
 		s.totalSlots += int64(s.boxes[b].capSlots)
 	}
 	s.idleList = r.I32s()
+	s.idleBits.initEmpty(s.n)
 	for pos, b := range s.idleList {
 		if b < 0 || int(b) >= s.n || s.boxes[b].busy {
 			return fmt.Errorf("core: checkpoint idle list holds invalid box %d", b)
 		}
 		s.boxes[b].idlePos = int32(pos)
+		s.idleBits.set(b)
 	}
 
 	for i := range s.pendingRing {

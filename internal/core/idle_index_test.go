@@ -70,6 +70,129 @@ func TestIdleIndexMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// TestIdleBitsDifferential pins the hierarchical bitmap in isolation
+// against a boolean-slice reference, across population sizes straddling
+// every level-count boundary (1–3 levels) and including the exact word
+// boundaries where the partial-top-word masking in initFull can go wrong.
+func TestIdleBitsDifferential(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 127, 128, 4095, 4096, 4097, 70000} {
+		rng := stats.NewRNG(uint64(n))
+		var ib idleBits
+		ib.initFull(n)
+		ref := make([]bool, n)
+		for i := range ref {
+			ref[i] = true
+		}
+		check := func(op string) {
+			t.Helper()
+			var want []int
+			for b, idle := range ref {
+				if idle {
+					want = append(want, b)
+				}
+			}
+			got := ib.appendAscending(nil)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d after %s: %d present, want %d", n, op, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d after %s: element %d = %d, want %d", n, op, i, got[i], want[i])
+				}
+			}
+		}
+		check("initFull")
+		for op := 0; op < 400; op++ {
+			b := int32(rng.Intn(n))
+			if ref[b] {
+				ib.clear(b)
+			} else {
+				ib.set(b)
+			}
+			ref[b] = !ref[b]
+			if op%57 == 0 || op > 380 {
+				check("ops")
+			}
+		}
+		ib.initEmpty(n)
+		if got := ib.appendAscending(nil); len(got) != 0 {
+			t.Fatalf("n=%d: initEmpty left %v present", n, got)
+		}
+	}
+}
+
+// TestIdleBoxesMatchesSortedIdleList is the randomized differential for
+// the order-maintaining idle index: at every round of a random workload,
+// IdleBoxes (bitmap enumeration) must equal the sorted linear scan of
+// idleList — the exact output the per-call sort used to produce.
+func TestIdleBoxesMatchesSortedIdleList(t *testing.T) {
+	sys := buildHomogeneous(t, 64, 40, 2, 4, 10, 5, 2.5, 1.4, nil)
+	gen := &uniformGen{rng: stats.NewRNG(902), p: 0.5}
+	v := sys.View()
+	dst := []int{}
+	for r := 1; r <= 150; r++ {
+		if _, err := sys.Step(gen); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]int, len(sys.idleList))
+		for i, b := range sys.idleList {
+			want[i] = int(b)
+		}
+		sort.Ints(want)
+		dst = v.IdleBoxes(dst[:0])
+		if len(dst) != len(want) {
+			t.Fatalf("round %d: IdleBoxes returned %d boxes, sorted idleList has %d", r, len(dst), len(want))
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("round %d: IdleBoxes[%d] = %d, sorted idleList %d", r, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestVisitIdleEarlyStop pins VisitIdle's early-stop contract: returning
+// false from the callback stops the walk immediately — exactly k boxes
+// visited for every prefix length k — and the boxes seen are idleList's
+// first k in its insertion order.
+func TestVisitIdleEarlyStop(t *testing.T) {
+	sys := buildHomogeneous(t, 37, 20, 2, 4, 8, 4, 2.5, 1.3, nil)
+	gen := &uniformGen{rng: stats.NewRNG(313), p: 0.1}
+	v := sys.View()
+	idle := 0
+	for r := 1; r <= 200; r++ {
+		if _, err := sys.Step(gen); err != nil {
+			t.Fatal(err)
+		}
+		if idle = v.NumIdle(); idle >= 3 {
+			break
+		}
+	}
+	if idle < 3 {
+		t.Fatalf("workload left only %d idle boxes; want ≥ 3 for prefix coverage", idle)
+	}
+	for k := 0; k <= idle; k++ {
+		var seen []int
+		v.VisitIdle(func(b int) bool {
+			seen = append(seen, b)
+			return len(seen) < k
+		})
+		// A callback that immediately returns false still sees one box.
+		wantLen := k
+		if wantLen == 0 {
+			wantLen = 1
+		}
+		if len(seen) != wantLen {
+			t.Fatalf("early stop at k=%d visited %d boxes", k, len(seen))
+		}
+		for i, b := range seen {
+			if int32(b) != sys.idleList[i] {
+				t.Fatalf("k=%d: VisitIdle[%d] = %d, idleList order says %d", k, i, b, sys.idleList[i])
+			}
+		}
+	}
+}
+
 // TestIdleIndexInstantViewing covers the admit path that never marks the
 // box busy: with every stripe self-possessed the viewing completes
 // instantly and the box must remain in the idle set.

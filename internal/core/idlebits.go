@@ -1,0 +1,104 @@
+package core
+
+import "math/bits"
+
+// idleBits is the order-maintaining half of the idle-box index: a
+// hierarchical bitmap over box ids mirroring idleList's membership. The
+// dense idleList answers VisitIdle/NumIdle in insertion order (that order
+// is pinned by golden runs and serialized in checkpoints, so it must not
+// change); the bitmap answers IdleBoxes' sorted enumeration directly, in
+// O(idle) with no per-call sort — the per-round sort.Ints over ~n idle
+// boxes used to be the single largest steady-state allocation-free *time*
+// sink of adversarial generators, and the sort itself is O(idle·log idle).
+//
+// Layout: levels[0] has one bit per box; levels[k][w] bit b summarizes
+// whether word w·64+b of levels[k−1] is non-zero. The top level is a
+// single word, so membership updates touch at most ⌈log₆₄ n⌉ words (4 at
+// 10⁷ boxes) and ascending enumeration skips empty subtrees wholesale.
+type idleBits struct {
+	levels [][]uint64
+}
+
+// initFull sizes the bitmap for n boxes with every box present (the
+// all-idle construction state).
+func (ib *idleBits) initFull(n int) {
+	ib.levels = ib.levels[:0]
+	for m := n; ; m = (m + 63) / 64 {
+		words := (m + 63) / 64
+		if words == 0 {
+			words = 1
+		}
+		level := make([]uint64, words)
+		for i := 0; i < m/64; i++ {
+			level[i] = ^uint64(0)
+		}
+		if rem := m % 64; rem != 0 {
+			level[m/64] = 1<<rem - 1
+		}
+		ib.levels = append(ib.levels, level)
+		if words == 1 {
+			return
+		}
+	}
+}
+
+// initEmpty sizes the bitmap for n boxes with no box present (checkpoint
+// decode rebuilds membership from the restored idleList).
+func (ib *idleBits) initEmpty(n int) {
+	ib.initFull(n)
+	for _, level := range ib.levels {
+		for i := range level {
+			level[i] = 0
+		}
+	}
+}
+
+// set marks box b idle, propagating up while a word turns non-zero.
+func (ib *idleBits) set(b int32) {
+	for _, level := range ib.levels {
+		i := int(b) >> 6
+		old := level[i]
+		level[i] = old | 1<<(uint(b)&63)
+		if old != 0 {
+			return
+		}
+		b = int32(i)
+	}
+}
+
+// clear marks box b busy, propagating up while a word turns zero.
+func (ib *idleBits) clear(b int32) {
+	for _, level := range ib.levels {
+		i := int(b) >> 6
+		level[i] &^= 1 << (uint(b) & 63)
+		if level[i] != 0 {
+			return
+		}
+		b = int32(i)
+	}
+}
+
+// appendAscending appends every present box to dst in ascending order.
+func (ib *idleBits) appendAscending(dst []int) []int {
+	if len(ib.levels) == 0 {
+		return dst
+	}
+	return ib.walk(len(ib.levels)-1, 0, dst)
+}
+
+// walk descends the summary tree from the given word, emitting leaf bits
+// in ascending order. Method recursion, not a closure: enumeration must
+// stay allocation-free.
+func (ib *idleBits) walk(level, word int, dst []int) []int {
+	w := ib.levels[level][word]
+	for w != 0 {
+		idx := word<<6 | bits.TrailingZeros64(w)
+		w &= w - 1
+		if level == 0 {
+			dst = append(dst, idx)
+		} else {
+			dst = ib.walk(level-1, idx, dst)
+		}
+	}
+	return dst
+}

@@ -107,6 +107,55 @@ func (a shardAdjacency) VisitServers(left int, fn func(right int) bool) {
 	ln.fnStack = ln.fnStack[:len(ln.fnStack)-1]
 }
 
+// BeginServers implements bipartite.CursorAdjacency for the lane: the
+// sub-matcher's hot path, bypassing the fnStack/tramp machinery entirely
+// (that pair stays for the VisitServers adapter form). Same staging as
+// adjacency's cursor, with every yielded right translated to the shard's
+// local id space; Register on first touch is safe here for the same
+// reason as in VisitServers — only the owning shard mutates its tables.
+func (a shardAdjacency) BeginServers(left int, c *bipartite.Cursor) {
+	c.Left = int32(left)
+	c.Stage = 0
+	c.Index = 0
+}
+
+// NextServer implements bipartite.CursorAdjacency on local right ids.
+func (a shardAdjacency) NextServer(c *bipartite.Cursor) int {
+	ln := a.ln
+	s := ln.sys
+	slot := c.Left
+	stripe := s.reqStripe[slot]
+	requester := s.reqBox[slot]
+	if c.Stage == 0 {
+		holders := s.cfg.Alloc.ByStripe[stripe]
+		for int(c.Index) < len(holders) {
+			b := holders[c.Index]
+			c.Index++
+			if b != requester {
+				return s.sharded.Register(ln.id, int(b))
+			}
+		}
+		if s.cfg.DisableCacheServing {
+			c.Stage = 2
+			return -1
+		}
+		c.Stage = 1
+		c.ID = s.avail.visitHead(stripe)
+	}
+	if c.Stage == 1 {
+		box, local, next := s.avail.visitStep(stripe, c.ID, requester, s.reqProgress[slot], s.reqProgress)
+		c.ID = next
+		if box >= 0 {
+			if local < 0 {
+				return s.sharded.Register(ln.id, int(box))
+			}
+			return int(local)
+		}
+		c.Stage = 2
+	}
+	return -1
+}
+
 // CanServe translates the local right back to its box and defers to the
 // global adjacency.
 func (a shardAdjacency) CanServe(left, right int) bool {

@@ -81,8 +81,17 @@ type System struct {
 	// the dense half of the intrusive idle-box set, maintained at the
 	// busy/idle transitions in admit and finishOne so idle-box queries
 	// cost O(idle), never O(n). boxes[b].idlePos back-points into it.
+	// idleBits mirrors idleList's membership as a hierarchical bitmap so
+	// sorted enumeration (View.IdleBoxes) costs O(idle) without a
+	// per-call sort; idleList keeps its insertion order — VisitIdle's
+	// iteration order and the checkpoint encoding depend on it.
 	boxes    []boxRec
 	idleList []int32
+	idleBits idleBits
+
+	// view is the one View handed to demand generators each round;
+	// caching it keeps Step's steady state allocation-free.
+	view View
 
 	// pendingRing holds scheduled future requests bucketed by due round
 	// (round mod len), so issuing costs O(due this round), not O(pending).
@@ -173,6 +182,8 @@ func NewSystem(cfg Config) (*System, error) {
 		s.boxes[b].idlePos = int32(b)
 		s.boxes[b].capSlots = int32(caps[b])
 	}
+	s.idleBits.initFull(n)
+	s.view = View{s}
 	for _, c := range caps {
 		s.totalSlots += c
 	}
@@ -188,12 +199,14 @@ func (s *System) markBusy(b int32) {
 	s.boxes[last].idlePos = pos
 	s.idleList = s.idleList[:len(s.idleList)-1]
 	s.boxes[b].idlePos = -1
+	s.idleBits.clear(b)
 }
 
 // markIdle returns box b to the idle set.
 func (s *System) markIdle(b int32) {
 	s.boxes[b].idlePos = int32(len(s.idleList))
 	s.idleList = append(s.idleList, b)
+	s.idleBits.set(b)
 }
 
 // Round returns the last simulated round. Rounds are 1-based — a demand
@@ -366,6 +379,54 @@ func (a adjacency) VisitServers(left int, fn func(right int) bool) {
 		return
 	}
 	s.avail.visit(stripe, requester, s.reqProgress[slot], s.reqProgress, fn)
+}
+
+// BeginServers implements bipartite.CursorAdjacency: the matcher's hot
+// traversal path, replacing the closure form of VisitServers (whose
+// captured locals escape to the heap on every probe). Stage 0 walks the
+// allocation holders by index; stage 1 walks the availability store via
+// its pull-style visitHead/visitStep cursor. Both substrates are
+// quiescent during matching — entries are added/retired/expired only in
+// other Step phases — so the live cursor sees exactly the sequence the
+// callback form would.
+func (a adjacency) BeginServers(left int, c *bipartite.Cursor) {
+	c.Left = int32(left)
+	c.Stage = 0
+	c.Index = 0
+}
+
+// NextServer implements bipartite.CursorAdjacency; it yields -1 when the
+// server list of the cursor's request is exhausted.
+func (a adjacency) NextServer(c *bipartite.Cursor) int {
+	s := a.s
+	slot := c.Left
+	stripe := s.reqStripe[slot]
+	requester := s.reqBox[slot]
+	if c.Stage == 0 {
+		holders := s.cfg.Alloc.ByStripe[stripe]
+		for int(c.Index) < len(holders) {
+			b := holders[c.Index]
+			c.Index++
+			if b != requester {
+				return int(b)
+			}
+		}
+		if s.cfg.DisableCacheServing {
+			c.Stage = 2
+			return -1
+		}
+		c.Stage = 1
+		c.ID = s.avail.visitHead(stripe)
+	}
+	if c.Stage == 1 {
+		box, _, next := s.avail.visitStep(stripe, c.ID, requester, s.reqProgress[slot], s.reqProgress)
+		c.ID = next
+		if box >= 0 {
+			return int(box)
+		}
+		c.Stage = 2
+	}
+	return -1
 }
 
 // CanServe mirrors VisitServers for a single candidate.

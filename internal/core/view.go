@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/video"
 )
 
@@ -13,7 +11,7 @@ import (
 type View struct{ s *System }
 
 // View returns the system's read-only view.
-func (s *System) View() *View { return &View{s} }
+func (s *System) View() *View { return &s.view }
 
 // Round returns the current round.
 func (v *View) Round() int { return v.s.round }
@@ -55,16 +53,12 @@ func (v *View) Replicas(st video.StripeID) int { return v.s.cfg.Alloc.Replicas(s
 func (v *View) StripeHolders(st video.StripeID) []int32 { return v.s.cfg.Alloc.ByStripe[st] }
 
 // IdleBoxes appends the indices of all idle boxes to dst in ascending
-// order and returns it. Cost is O(idle·log idle) via the system's idle
-// index — it never scans the full population. Callers that can accept
-// arbitrary order (or want to stop early) should use VisitIdle instead.
+// order and returns it. Cost is O(idle) via the system's hierarchical
+// idle bitmap — no per-call sort, and it never scans the full
+// population. Callers that can accept arbitrary order (or want to stop
+// early) should use VisitIdle instead.
 func (v *View) IdleBoxes(dst []int) []int {
-	start := len(dst)
-	for _, b := range v.s.idleList {
-		dst = append(dst, int(b))
-	}
-	sort.Ints(dst[start:])
-	return dst
+	return v.s.idleBits.appendAscending(dst)
 }
 
 // VisitIdle calls fn for every idle box, stopping early if fn returns

@@ -45,7 +45,11 @@ type Server struct {
 	// pending holds demands queued over HTTP, delivered (in arrival
 	// order) to the engine at the next Step. Born is stamped at delivery:
 	// an arrival between rounds r and r+1 is born in round r+1.
+	// Its backing array and the per-call results buffer are reused across
+	// Step calls — both are only touched with mu held, and the engine
+	// consumes demands within the round they are delivered.
 	pending []vod.Demand
+	results []vod.StepResult
 
 	// Step timing and allocation accounting for /metrics.
 	stepRounds int64         // rounds stepped by this process
@@ -129,7 +133,7 @@ type drainGen struct{ srv *Server }
 
 func (g drainGen) Next(_ *vod.View, round int) []vod.Demand {
 	ds := g.srv.pending
-	g.srv.pending = nil
+	g.srv.pending = ds[:0]
 	for i := range ds {
 		ds[i].Born = round
 	}
@@ -152,10 +156,11 @@ func (s *Server) stepLocked(n int) ([]vod.StepResult, error) {
 	runtime.ReadMemStats(&ms)
 	allocBefore := ms.TotalAlloc
 	start := time.Now()
-	results := make([]vod.StepResult, 0, n)
+	results := s.results[:0]
 	for i := 0; i < n; i++ {
 		res, err := s.sys.Step(drainGen{s})
 		if err != nil {
+			s.results = results
 			return results, err
 		}
 		results = append(results, res)
@@ -167,6 +172,7 @@ func (s *Server) stepLocked(n int) ([]vod.StepResult, error) {
 	s.stepRounds += int64(n)
 	runtime.ReadMemStats(&ms)
 	s.allocBytes += ms.TotalAlloc - allocBefore
+	s.results = results
 	return results, nil
 }
 

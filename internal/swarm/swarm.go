@@ -60,6 +60,13 @@ type Tracker struct {
 	activeVids []video.ID
 	pos        []int32
 
+	// spare recycles drained expiry-queue backing arrays across videos:
+	// a deactivating video surrenders its backing here and the next video
+	// to activate grabs one, so steady-state churn over fresh videos stops
+	// paying a first-push allocation per activation (and retained memory
+	// scales with concurrently-active videos, not videos ever touched).
+	spare [][]int
+
 	totalViewers int
 	activeSwarms int
 	maxEver      int
@@ -88,15 +95,21 @@ func NewTracker(m, t int, mu float64) *Tracker {
 	return tr
 }
 
-// activate puts v on the live list.
+// activate puts v on the live list, seeding its expiry queue from the
+// spare pool if it has no backing yet.
 func (tr *Tracker) activate(v video.ID) {
 	if tr.pos[v] < 0 {
 		tr.pos[v] = int32(len(tr.activeVids))
 		tr.activeVids = append(tr.activeVids, v)
+		if q := &tr.expiry[v]; q.rounds == nil && len(tr.spare) > 0 {
+			q.rounds = tr.spare[len(tr.spare)-1]
+			tr.spare = tr.spare[:len(tr.spare)-1]
+		}
 	}
 }
 
-// deactivateAt swap-removes the video at index i of the live list.
+// deactivateAt swap-removes the video at index i of the live list and
+// returns its (drained) expiry backing to the spare pool.
 func (tr *Tracker) deactivateAt(i int) {
 	v := tr.activeVids[i]
 	last := tr.activeVids[len(tr.activeVids)-1]
@@ -104,6 +117,11 @@ func (tr *Tracker) deactivateAt(i int) {
 	tr.pos[last] = int32(i)
 	tr.activeVids = tr.activeVids[:len(tr.activeVids)-1]
 	tr.pos[v] = -1
+	if q := &tr.expiry[v]; cap(q.rounds) > 0 {
+		tr.spare = append(tr.spare, q.rounds[:0])
+		q.rounds = nil
+		q.head = 0
+	}
 }
 
 // BeginRound advances the tracker to the given round: it snapshots the
