@@ -369,6 +369,7 @@ func benchStepBounded(b *testing.B, n, perRound, shards int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer sys.Close()
 	gen := &sweepArrivals{perRound: perRound}
 	// Warm past the first cache-window expiry so measured rounds carry
 	// steady-state expiry and retirement work.

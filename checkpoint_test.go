@@ -3,7 +3,9 @@ package vod
 import (
 	"bytes"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 )
 
 // TestSaveLoadCheckpoint exercises the public envelope: run a workload,
@@ -59,6 +61,67 @@ func TestSaveLoadCheckpoint(t *testing.T) {
 	}
 	if repA, repB := live.Report(), restored.Report(); !reflect.DeepEqual(repA, repB) {
 		t.Fatalf("reports diverge after identical continuations")
+	}
+}
+
+// TestCheckpointWorkerLifecycle pins the public half of the pool
+// lifecycle: SaveCheckpoint/LoadCheckpoint re-arms the restored system's
+// shard workers (it must still step) without leaking the saved system's,
+// and Close on both returns the process to its goroutine baseline.
+func TestCheckpointWorkerLifecycle(t *testing.T) {
+	spec := Spec{Boxes: 30, Upload: 2.0, Growth: 1.3, Resilient: true, Shards: 4, Seed: 11}
+	mk := func() *System {
+		sys, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	warm := mk() // warm the runtime's lazy helper goroutines
+	warm.Close()
+	waitBaseline(t, runtime.NumGoroutine())
+	base := runtime.NumGoroutine()
+
+	live := mk()
+	gen := NewZipfWorkload(3, 0.4, 0.9)
+	for r := 0; r < 20; r++ {
+		if _, err := live.Step(gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := live.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	live.Close()
+	live.Close() // idempotent
+	waitBaseline(t, base)
+	if _, err := live.Step(gen); err == nil {
+		t.Fatal("Step after Close should error")
+	}
+
+	restored, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Step(NewZipfWorkload(9, 0.4, 0.9)); err != nil {
+		t.Fatalf("restored system must step (workers re-armed): %v", err)
+	}
+	restored.Close()
+	waitBaseline(t, base)
+}
+
+// waitBaseline polls until the goroutine count returns to base (worker
+// exit after a pool close is asynchronous).
+func waitBaseline(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines still live (baseline %d)", runtime.NumGoroutine(), base)
+		}
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -45,6 +45,10 @@ func main() {
 		scen    = flag.String("scenario", "", "run a declarative scenario spec (YAML/JSON) instead of the experiment suite")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "vodbench: -shards %d is negative; use 0 for the serial engine or a positive shard count\n", *shards)
+		os.Exit(1)
+	}
 
 	switch *format {
 	case "text", "md", "csv":

@@ -23,11 +23,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	vod "repro"
@@ -58,6 +61,9 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "checkpoints", "directory for auto-checkpoints")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		log.Fatalf("vodserve: -shards %d is negative; use 0 for the serial engine or a positive shard count", *shards)
+	}
 
 	// An explicitly set -mu survives the heterogeneous defaults (same
 	// rule as vodsim): only flags the user did not pass are defaulted.
@@ -167,8 +173,24 @@ func main() {
 		log.Printf("vodserve: auto-advancing one round per %v", *tick)
 	}
 
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and
+	// release the engine's persistent shard workers.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("vodserve: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	select {
+	case err := <-errc:
 		log.Fatalf("vodserve: %v", err)
+	case <-ctx.Done():
 	}
+	log.Printf("vodserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("vodserve: shutdown: %v", err)
+	}
+	srv.Close()
 }

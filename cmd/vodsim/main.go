@@ -60,6 +60,10 @@ func main() {
 		goldenPath = flag.String("golden", "", "with -scenario: compare the summary against this golden file and exit non-zero on drift")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "vodsim: -shards %d is negative; use 0 for the serial engine or a positive shard count\n", *shards)
+		os.Exit(1)
+	}
 
 	// -hetero installs the heterogeneous defaults, but an explicitly set
 	// -mu must survive them: only flags the user did not pass are defaulted.

@@ -96,8 +96,14 @@ type availabilityStore interface {
 	// beyond need.
 	canServe(st video.StripeID, box int32, need int32, reqProgress []int32) bool
 	// hasFull reports whether box holds a frozen full copy of st (frozen
-	// progress ≥ full) still inside the window.
-	hasFull(st video.StripeID, box int32, full int32) bool
+	// progress ≥ full) still inside the window. minStart re-states the
+	// window bound (start ≥ round−T) explicitly: expiry normally enforces
+	// it structurally, but the sharded engine defers expiry into the
+	// matching stage, after admission has already queried hasFull — the
+	// bound masks exactly the entries due to expire this round. Callers
+	// on an already-expired store pass a bound every surviving entry
+	// meets, making it a no-op.
+	hasFull(st video.StripeID, box int32, full int32, minStart int32) bool
 	// live returns the number of entries currently indexed for st.
 	live(st video.StripeID) int
 	// margin summarizes box's serving credential for st beyond need: ok
@@ -403,14 +409,14 @@ func (ix *indexedAvailability) canServe(st video.StripeID, box int32, need int32
 	return false
 }
 
-func (ix *indexedAvailability) hasFull(st video.StripeID, box int32, full int32) bool {
+func (ix *indexedAvailability) hasFull(st video.StripeID, box int32, full int32, minStart int32) bool {
 	id, ok := ix.byKeys[ix.shardOf(st)][availKey(st, box)]
 	if !ok {
 		return false
 	}
 	for ; id >= 0; id = ix.slab[id].nextKey {
 		e := &ix.slab[id]
-		if e.req == -1 && e.frozen >= full {
+		if e.req == -1 && e.frozen >= full && e.start >= minStart {
 			return true
 		}
 	}

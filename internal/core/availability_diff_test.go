@@ -114,9 +114,16 @@ func TestAvailabilityStoresAgree(t *testing.T) {
 					t.Fatalf("round %d stripe %d canServe(box=%d, need=%d): indexed %v, naive %v",
 						round, st, box, need, g, w)
 				}
-				if g, w := idx.hasFull(st, box, int32(T)), naive.hasFull(st, box, int32(T)); g != w {
+				if g, w := idx.hasFull(st, box, int32(T), int32(round-T)), naive.hasFull(st, box, int32(T), int32(round-T)); g != w {
 					t.Fatalf("round %d stripe %d hasFull(box=%d): indexed %v, naive %v",
 						round, st, box, g, w)
+				}
+				// Tighter minStart bounds (the sharded engine's deferred-expiry
+				// mask) must agree too, not just the post-expiry no-op bound.
+				tight := int32(round - rng.Intn(T))
+				if g, w := idx.hasFull(st, box, 0, tight), naive.hasFull(st, box, 0, tight); g != w {
+					t.Fatalf("round %d stripe %d hasFull(box=%d, minStart=%d): indexed %v, naive %v",
+						round, st, box, tight, g, w)
 				}
 			}
 		}

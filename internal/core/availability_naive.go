@@ -121,10 +121,10 @@ func (na *naiveAvailability) canServe(st video.StripeID, box int32, need int32, 
 	return false
 }
 
-func (na *naiveAvailability) hasFull(st video.StripeID, box int32, full int32) bool {
+func (na *naiveAvailability) hasFull(st video.StripeID, box int32, full int32, minStart int32) bool {
 	for i := range na.entries[st] {
 		e := &na.entries[st][i]
-		if e.box == box && e.req == -1 && e.frozen >= full {
+		if e.box == box && e.req == -1 && e.frozen >= full && e.start >= minStart {
 			return true
 		}
 	}

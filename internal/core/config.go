@@ -155,6 +155,13 @@ func (cfg *Config) validate() ([]int64, error) {
 		return nil, fmt.Errorf("core: shards=%d must be non-negative", cfg.Shards)
 	}
 	cat := cfg.Alloc.Catalog()
+	if cfg.Shards > cat.NumStripes() {
+		// Stripes partition across shards (stripe mod Shards); more shards
+		// than stripes leaves permanently empty lanes that still cost a
+		// parked worker and a dispatch each round.
+		return nil, fmt.Errorf("core: shards=%d exceeds the catalog's %d stripes; empty shards would be idle weight",
+			cfg.Shards, cat.NumStripes())
+	}
 	caps := make([]int64, n)
 	for b, u := range cfg.Uploads {
 		if u < 0 {

@@ -25,14 +25,18 @@ func (s *System) Step(gen Generator) (StepResult, error) {
 	if s.failed {
 		return StepResult{}, fmt.Errorf("core: system already failed at round %d", s.metrics.failRound)
 	}
+	if s.pool != nil && s.pool.closed.Load() {
+		return StepResult{}, fmt.Errorf("core: Step on closed system (round %d)", s.round)
+	}
 	s.round++
 	res := StepResult{Round: s.round}
 	s.tracker.BeginRound(s.round)
-	if s.sharded != nil {
-		s.runShards(func(sh int) { s.avail.expireShard(s.round, sh) })
-	} else {
+	if s.sharded == nil {
 		s.avail.expire(s.round)
 	}
+	// The sharded engine defers expiry into the fused pre-merge dispatch
+	// (matchStageShard); selfPossesses masks the deferred entries, so
+	// admission below still sees the post-expiry window.
 
 	// Retire completed requests (progress reached T). retireRequest
 	// swap-removes the current slot, so only advance on survivors.
@@ -126,21 +130,18 @@ func (s *System) Step(gen Generator) (StepResult, error) {
 		}
 	}
 
-	// Matched requests advance one chunk.
+	// Matched requests advance one chunk, then certificates refresh. The
+	// sharded engine fuses both into its second (post-merge) dispatch.
 	if s.sharded != nil {
-		s.advanceProgressSharded()
+		s.advanceAndCertifySharded(res.Unmatched)
+		s.timing.fold()
 	} else {
 		for _, slot := range s.activeList {
 			if s.matcher.Server(int(slot)) != -1 {
 				s.reqProgress[slot]++
 			}
 		}
-	}
-
-	if s.eventDriven {
-		if s.sharded != nil {
-			s.refreshAssignmentCertificatesSharded(res.Unmatched)
-		} else {
+		if s.eventDriven {
 			s.refreshAssignmentCertificates(res.Unmatched)
 		}
 	}

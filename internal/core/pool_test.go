@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/stats"
+)
+
+// waitGoroutines polls until the live goroutine count drops back to at
+// most base (the runtime parks helper goroutines asynchronously after a
+// channel close, so a single instantaneous read would be flaky).
+func waitGoroutines(t *testing.T, base int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("%s: %d goroutines still live (baseline %d):\n%s",
+				what, runtime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShardPoolLifecycle pins the worker-pool contract: construction
+// parks exactly shards-1 workers, rounds spawn none, Close releases them
+// all, Close is idempotent, and Step after Close errors instead of
+// hanging on a dead barrier.
+func TestShardPoolLifecycle(t *testing.T) {
+	// Warm the runtime (GC helpers, cleanup goroutine) so the baseline
+	// below is not perturbed by lazily created runtime goroutines.
+	warm := buildHomogeneous(t, 7, 18, 1, 4, 9, 2, 0.8, 2.0, func(c *Config) { c.Shards = 2; c.Failure = FailStall })
+	if _, err := warm.Step(nil); err != nil {
+		t.Fatal(err)
+	}
+	warm.Close()
+	waitGoroutines(t, runtime.NumGoroutine(), "warmup")
+
+	base := runtime.NumGoroutine()
+	const S = 4
+	sys := buildHomogeneous(t, 43, 18, 1, 4, 9, 2, 0.8, 2.0, func(c *Config) { c.Shards = S; c.Failure = FailStall })
+	if got := runtime.NumGoroutine(); got != base+S-1 {
+		t.Errorf("construction: %d goroutines, want baseline %d + %d workers", got, base, S-1)
+	}
+	gen := &uniformGen{rng: stats.NewRNG(1213), p: 0.8}
+	for r := 0; r < 40; r++ {
+		if _, err := sys.Step(gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Persistent workers: rounds must not have spawned anything.
+	if got := runtime.NumGoroutine(); got != base+S-1 {
+		t.Errorf("after 40 rounds: %d goroutines, want %d (workers persist, rounds spawn none)", got, base+S-1)
+	}
+	sys.Close()
+	sys.Close() // idempotent
+	waitGoroutines(t, base, "after Close")
+
+	if _, err := sys.Step(gen); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Step after Close: got err %v, want closed-system error", err)
+	}
+}
+
+// TestShardPoolCheckpointRearm pins that restore re-arms, not leaks,
+// workers: decoding a checkpoint into a freshly constructed sharded
+// system leaves exactly its own worker set live, and the restored system
+// still steps (its pool is armed) and Closes back to baseline.
+func TestShardPoolCheckpointRearm(t *testing.T) {
+	mk := func() *System {
+		return buildHomogeneous(t, 43, 18, 1, 4, 9, 2, 0.8, 2.0, func(c *Config) { c.Shards = 3; c.Failure = FailStall })
+	}
+	warm := mk()
+	warm.Close()
+	waitGoroutines(t, runtime.NumGoroutine(), "warmup")
+	base := runtime.NumGoroutine()
+
+	src := mk()
+	gen := &uniformGen{rng: stats.NewRNG(99), p: 0.7}
+	for r := 0; r < 25; r++ {
+		if _, err := src.Step(gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	w := ckpt.NewWriter(&buf)
+	if err := src.EncodeState(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+	waitGoroutines(t, base, "source closed")
+
+	dst := mk()
+	if err := dst.DecodeState(ckpt.NewReader(bytes.NewReader(buf.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.NumGoroutine(); got != base+2 {
+		t.Errorf("restored system: %d goroutines, want baseline %d + 2 workers", got, base)
+	}
+	if _, err := dst.Step(gen); err != nil {
+		t.Fatalf("restored system must step (pool re-armed): %v", err)
+	}
+	dst.Close()
+	waitGoroutines(t, base, "restored system closed")
+}

@@ -9,15 +9,17 @@ package core
 // below: its slice of the recheck ring, event scratch, and an adjacency
 // that translates the Section 2.2 graph into local ids. The hot stages of
 // a round (expiry, targeted invalidation, certificate rechecks, blocking-
-// flow augmentation, progress) run one goroutine per shard with no shared
-// mutable state; box capacity — the one cross-shard resource — is resolved
-// afterwards by the deterministic Merge + GlobalAugment serial tail, so
+// flow augmentation, progress) are fused into two dispatches onto a
+// persistent per-shard worker pool (shardPool) with no shared mutable
+// state; box capacity — the one cross-shard resource — is resolved
+// between them by the deterministic Merge + GlobalAugment serial tail, so
 // StepResult is bit-identical at every shard count and independent of
 // GOMAXPROCS (see the sharded-vs-serial lockstep differential).
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bipartite"
 	"repro/internal/video"
@@ -174,46 +176,136 @@ func (a shardAdjacency) StableEdge(left, right int) bool {
 	return adjacency{s}.StableEdge(left, s.sharded.Global(a.ln.id, right))
 }
 
-// runShards runs fn(shard) concurrently for every shard and waits.
-// Goroutines are spawned per phase — at most a handful of phases per
-// round, so pool bookkeeping would cost more than it saves.
-func (s *System) runShards(fn func(sh int)) {
-	var wg sync.WaitGroup
-	wg.Add(s.numShards)
-	for sh := 0; sh < s.numShards; sh++ {
-		go func() {
-			defer wg.Done()
-			fn(sh)
-		}()
+// shardStage identifies the fused shard-local work a pool dispatch runs.
+// A round has exactly two dispatches — the only synchronization points
+// left are the barriers around the serial Merge/GlobalAugment tail.
+type shardStage uint8
+
+const (
+	// stageMatch fuses every pre-merge shard-local phase: availability
+	// expiry, capacity-view refresh, targeted invalidation (or sweep
+	// revalidation), and blocking-flow augmentation over the sub-graph.
+	stageMatch shardStage = iota
+	// stageAdvance fuses the post-merge phases: progress advance, then
+	// certificate refresh under the serially decided certMode (progress
+	// first — certificate margins read reqProgress, and the serial engine
+	// advances before it certifies).
+	stageAdvance
+)
+
+// shardPool parks numShards-1 persistent workers on an allocation-free
+// reusable barrier; shard 0 always runs inline on the dispatching
+// goroutine, so shards=1 degenerates to the serial engine's cost and a
+// dispatch costs one channel send per worker plus one WaitGroup cycle —
+// no goroutine spawns, no per-round allocation. The System reference is
+// published per dispatch and cleared after the barrier, so parked workers
+// never pin the engine: an abandoned (un-Closed) System stays collectable
+// and its runtime.AddCleanup closes the pool as a safety net.
+type shardPool struct {
+	wake   []chan struct{} // one buffered wake token slot per worker; worker i owns shard i+1
+	done   sync.WaitGroup  // reusable barrier: Add(workers) per dispatch, Done per shard
+	runner *System         // published before release, nil while parked
+	stage  shardStage
+	closed atomic.Bool
+	once   sync.Once
+}
+
+func newShardPool(workers int) *shardPool {
+	p := &shardPool{wake: make([]chan struct{}, workers)}
+	for i := range p.wake {
+		ch := make(chan struct{}, 1)
+		p.wake[i] = ch
+		go p.work(i+1, ch)
 	}
-	wg.Wait()
+	return p
+}
+
+// work is one parked worker: each wake token runs the published stage for
+// the worker's shard and reports through the barrier. The channel send in
+// run happens-before the receive here, and the Done happens-before run's
+// Wait, so runner/stage publication needs no further synchronization.
+func (p *shardPool) work(sh int, wake chan struct{}) {
+	for range wake {
+		p.runner.runShardStage(p.stage, sh)
+		p.done.Done()
+	}
+}
+
+// run executes stage on every shard — workers for shards 1..S-1, the
+// calling goroutine for shard 0 — and returns once all have finished.
+func (p *shardPool) run(s *System, stage shardStage) {
+	p.runner, p.stage = s, stage
+	p.done.Add(len(p.wake))
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+	s.runShardStage(stage, 0)
+	p.done.Wait()
+	p.runner = nil
+}
+
+// close releases the workers. Idempotent; must not race a Step (the
+// System serializes Step and Close onto its single-writer contract, and
+// the AddCleanup path only fires once no Step can be running).
+func (p *shardPool) close() {
+	p.once.Do(func() {
+		p.closed.Store(true)
+		for _, ch := range p.wake {
+			close(ch)
+		}
+	})
+}
+
+// runShardStage dispatches one shard's share of a fused stage. It is the
+// single entry point for both the inline shard-0 call and the pool
+// workers.
+func (s *System) runShardStage(stage shardStage, sh int) {
+	switch stage {
+	case stageMatch:
+		s.matchStageShard(sh)
+	case stageAdvance:
+		s.advanceStageShard(sh)
+	}
+}
+
+// matchStageShard is the fused pre-merge stage for one lane: expire the
+// lane's availability window, refresh its capacity views, repair flagged
+// assignments (or sweep), and augment over the sub-graph. Expiry is
+// deferred here from the top of the round — admission has already run —
+// which is safe because selfPossesses window-filters the entries this
+// expiry is about to drop (see availabilityStore.hasFull) and every other
+// consumer of the store runs at or after this stage.
+func (s *System) matchStageShard(sh int) {
+	ln := &s.lanes[sh]
+	s.avail.expireShard(s.round, sh)
+	s.sharded.RefreshCapacities(sh)
+	adj := shardAdjacency{ln}
+	if s.eventDriven && !s.needSweep {
+		s.invalidateTargetedShard(ln, adj)
+	} else {
+		if s.eventDriven {
+			s.discardInvalidationBacklogShard(ln)
+		}
+		s.sharded.Sub(sh).Revalidate(adj)
+	}
+	s.shardUnmatched[sh] = s.sharded.Sub(sh).AugmentAll(adj)
 }
 
 // matchSharded runs the round's matching stages on the sharded engine:
-// every shard refreshes its capacity views, repairs flagged assignments
-// (or sweeps), and augments over its own sub-graph in parallel; then the
-// serial tail merges per-shard loads in fixed shard order, evicts
+// one pooled dispatch runs the fused pre-merge stage on every shard; then
+// the serial tail merges per-shard loads in fixed shard order, evicts
 // oversubscribed claims deterministically, and completes the matching to
 // a global maximum with cross-shard alternating paths. Returns the final
 // unmatched lefts (ascending).
 func (s *System) matchSharded() []int {
-	targeted := s.eventDriven && !s.needSweep
-	s.runShards(func(sh int) {
-		ln := &s.lanes[sh]
-		s.sharded.RefreshCapacities(sh)
-		adj := shardAdjacency{ln}
-		if targeted {
-			s.invalidateTargetedShard(ln, adj)
-		} else {
-			if s.eventDriven {
-				s.discardInvalidationBacklogShard(ln)
-			}
-			s.sharded.Sub(sh).Revalidate(adj)
-		}
-		s.shardUnmatched[sh] = s.sharded.Sub(sh).AugmentAll(adj)
-	})
+	t := nowNS()
+	s.pool.run(s, stageMatch)
+	s.timing.parallelNS = nowNS() - t
+	t = nowNS()
 	spill := s.sharded.Merge()
-	return s.sharded.GlobalAugment(adjacency{s}, spill, s.shardUnmatched)
+	out := s.sharded.GlobalAugment(adjacency{s}, spill, s.shardUnmatched)
+	s.timing.serialNS = nowNS() - t
+	return out
 }
 
 // invalidateTargetedShard is invalidateTargeted restricted to one lane:
@@ -302,49 +394,54 @@ const (
 	certsIncremental                 // steady state: certify new assignments only
 )
 
-// refreshAssignmentCertificatesSharded applies refreshAssignmentCertificates
-// shard-by-shard: the sweep-episode transition is decided serially, then
-// every lane drains its own assignment log and re-derives certificates in
-// parallel.
-func (s *System) refreshAssignmentCertificatesSharded(unmatched int) {
-	mode := certsIncremental
-	if unmatched > 0 {
-		s.needSweep = true
-		mode = certsDiscard
-	} else if s.needSweep {
-		s.needSweep = false
-		mode = certsRebuild
-	}
-	s.runShards(func(sh int) {
-		ln := &s.lanes[sh]
-		sub := s.sharded.Sub(sh)
-		ln.assignedLog = sub.DrainAssigned(ln.assignedLog[:0])
-		switch mode {
-		case certsRebuild:
-			for _, l := range sub.ActiveLefts() {
-				s.scheduleCertificateShard(ln, int(l))
-			}
-		case certsIncremental:
-			for _, l := range ln.assignedLog {
-				s.scheduleCertificateShard(ln, int(l))
-			}
+// advanceAndCertifySharded is the post-merge half of the sharded round:
+// the sweep-episode transition is decided serially (it reads the global
+// unmatched count and flips needSweep), then one pooled dispatch runs the
+// fused progress+certificate stage on every lane.
+func (s *System) advanceAndCertifySharded(unmatched int) {
+	if s.eventDriven {
+		s.certMode = certsIncremental
+		if unmatched > 0 {
+			s.needSweep = true
+			s.certMode = certsDiscard
+		} else if s.needSweep {
+			s.needSweep = false
+			s.certMode = certsRebuild
 		}
-	})
+	}
+	t := nowNS()
+	s.pool.run(s, stageAdvance)
+	s.timing.parallelNS += nowNS() - t
 }
 
-// advanceProgressSharded advances matched requests one chunk, each shard
-// walking its own sub-matcher's active lefts (reqProgress writes are
-// confined to the owning shard; readers in this phase only touch their
-// own lane's slots).
-func (s *System) advanceProgressSharded() {
-	s.runShards(func(sh int) {
-		sub := s.sharded.Sub(sh)
-		for _, l := range sub.ActiveLefts() {
-			if sub.Server(int(l)) != bipartite.Unassigned {
-				s.reqProgress[l]++
-			}
+// advanceStageShard is the fused post-merge stage for one lane: advance
+// matched requests one chunk (reqProgress writes confined to the owning
+// shard), then drain the lane's assignment log and re-derive certificates
+// under the serially decided certMode. Progress runs first because
+// certificate margins read reqProgress — the same order as the serial
+// engine's Step.
+func (s *System) advanceStageShard(sh int) {
+	ln := &s.lanes[sh]
+	sub := s.sharded.Sub(sh)
+	for _, l := range sub.ActiveLefts() {
+		if sub.Server(int(l)) != bipartite.Unassigned {
+			s.reqProgress[l]++
 		}
-	})
+	}
+	if !s.eventDriven {
+		return
+	}
+	ln.assignedLog = sub.DrainAssigned(ln.assignedLog[:0])
+	switch s.certMode {
+	case certsRebuild:
+		for _, l := range sub.ActiveLefts() {
+			s.scheduleCertificateShard(ln, int(l))
+		}
+	case certsIncremental:
+		for _, l := range ln.assignedLog {
+			s.scheduleCertificateShard(ln, int(l))
+		}
+	}
 }
 
 // verifyMatching is the paranoid-mode check: per-shard sub-matcher

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/swarm"
@@ -52,11 +54,17 @@ type System struct {
 
 	// Sharded round engine (Config.Shards > 1): sharded replaces matcher —
 	// exactly one of the two is non-nil — and lanes carries the per-shard
-	// engine state (recheck rings, event scratch, adjacency). See shard.go.
+	// engine state (recheck rings, event scratch, adjacency). pool owns the
+	// persistent shard workers; certMode is the post-merge dispatch's
+	// serially decided certificate disposition and timing the round's
+	// parallel/serial wall-clock split. See shard.go.
 	sharded        *bipartite.Sharded
 	numShards      int
 	lanes          []lane
 	shardUnmatched [][]int // per-shard unmatched frontiers (scratch)
+	pool           *shardPool
+	certMode       certMode
+	timing         stageTiming
 
 	// Request slot arrays (index = matcher left ID).
 	reqStripe   []video.StripeID
@@ -146,6 +154,12 @@ func NewSystem(cfg Config) (*System, error) {
 		if !cfg.LazyShardRights {
 			s.preRegisterShardRights()
 		}
+		s.pool = newShardPool(S - 1)
+		// Safety net for systems dropped without Close: parked workers only
+		// reference the pool (never the System between dispatches), so an
+		// abandoned engine is collectable and the cleanup releases its
+		// workers. The cleanup func must not capture s.
+		runtime.AddCleanup(s, func(p *shardPool) { p.close() }, s.pool)
 	}
 	if cfg.NaiveAvailability {
 		na := newNaiveAvailability(cat.NumStripes(), cat.T)
@@ -207,6 +221,68 @@ func (s *System) markIdle(b int32) {
 	s.boxes[b].idlePos = int32(len(s.idleList))
 	s.idleList = append(s.idleList, b)
 	s.idleBits.set(b)
+}
+
+// Close releases the sharded engine's persistent workers. Idempotent and
+// a no-op on the serial engine; Step after Close returns an error. Must
+// not be called concurrently with Step (the System is single-writer).
+// Systems dropped without Close are still collectable — a runtime cleanup
+// releases their workers — but long-lived processes that build many
+// systems should Close explicitly rather than wait for the GC.
+func (s *System) Close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
+}
+
+// StageTiming is the sharded round's wall-clock split: the pooled
+// parallel dispatches vs the serial Merge/GlobalAugment tail. Last
+// completed round plus an exponentially weighted moving average
+// (alpha 0.1). All zeros on the serial engine.
+type StageTiming struct {
+	ParallelNS     int64
+	SerialNS       int64
+	ParallelEWMANS float64
+	SerialEWMANS   float64
+}
+
+// timeBase anchors nowNS: time.Since reads the monotonic clock without
+// allocating, which keeps the timed sharded round at 0 allocs.
+var timeBase = time.Now()
+
+func nowNS() int64 { return int64(time.Since(timeBase)) }
+
+// stageTiming is the engine-internal accumulator behind StageTiming.
+type stageTiming struct {
+	parallelNS int64
+	serialNS   int64
+	ewmaPar    float64
+	ewmaSer    float64
+	rounds     int64
+}
+
+// fold absorbs the finished round's split into the EWMAs.
+func (t *stageTiming) fold() {
+	const alpha = 0.1
+	if t.rounds == 0 {
+		t.ewmaPar = float64(t.parallelNS)
+		t.ewmaSer = float64(t.serialNS)
+	} else {
+		t.ewmaPar += (float64(t.parallelNS) - t.ewmaPar) * alpha
+		t.ewmaSer += (float64(t.serialNS) - t.ewmaSer) * alpha
+	}
+	t.rounds++
+}
+
+// StageTiming reports the per-round parallel/serial wall-clock split of
+// the sharded engine (zeros on the serial engine; see StageTiming type).
+func (s *System) StageTiming() StageTiming {
+	return StageTiming{
+		ParallelNS:     s.timing.parallelNS,
+		SerialNS:       s.timing.serialNS,
+		ParallelEWMANS: s.timing.ewmaPar,
+		SerialEWMANS:   s.timing.ewmaSer,
+	}
 }
 
 // Round returns the last simulated round. Rounds are 1-based — a demand
@@ -479,7 +555,12 @@ func (a adjacency) StableEdge(left, right int) bool {
 
 // selfPossesses reports whether box b already has stripe st available
 // locally: stored by allocation, or completely cached from a recent
-// viewing (frozen full-progress entry inside the window).
+// viewing (frozen full-progress entry inside the window). The minStart
+// bound re-states the cache window explicitly: the serial engine has
+// already expired this round when admission asks (making the bound a
+// no-op), but the sharded engine defers expiry into the fused match
+// stage, so the bound is what masks the entries due to expire this round
+// and keeps admission bit-identical across engines.
 func (s *System) selfPossesses(b int32, st video.StripeID) bool {
 	if s.cfg.Alloc.Stores(int(b), st) {
 		return true
@@ -487,7 +568,7 @@ func (s *System) selfPossesses(b int32, st video.StripeID) bool {
 	if s.cfg.DisableCacheServing {
 		return false
 	}
-	return s.avail.hasFull(st, b, int32(s.cat.T))
+	return s.avail.hasFull(st, b, int32(s.cat.T), int32(s.round-s.cat.T))
 }
 
 // String summarizes the system state for debugging.

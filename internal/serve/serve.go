@@ -73,6 +73,15 @@ func New(sys *vod.System, restored bool) *Server {
 	return &Server{sys: sys, restored: restored}
 }
 
+// Close releases the engine's persistent shard workers. Call it when the
+// daemon shuts down; handlers racing a Close serialize on the server
+// mutex, and a Step after Close surfaces as an engine error, not a hang.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.Close()
+}
+
 // EnableAutoCheckpoint turns on periodic checkpointing: after every
 // `every`-th round the engine reaches, a checkpoint is written atomically
 // to dir as ckpt-<round>.vodckpt and only the `keep` newest are retained.
@@ -233,6 +242,15 @@ type Metrics struct {
 	AutoCheckpoints int64            `json:"auto_checkpoints,omitempty"`
 	LastCheckpoint  string           `json:"last_checkpoint,omitempty"`
 	CheckpointError string           `json:"checkpoint_error,omitempty"`
+
+	// Sharded-engine stage timing (zeros under the serial engine): the
+	// last round's wall-clock split between the pooled parallel shard
+	// dispatches and the serial Merge/GlobalAugment tail, plus EWMAs
+	// (alpha 0.1) — the merge tail's share of the round on a live daemon.
+	StageParallelNS     int64   `json:"stage_parallel_ns"`
+	StageSerialNS       int64   `json:"stage_serial_tail_ns"`
+	StageParallelEWMANS float64 `json:"stage_parallel_ewma_ns"`
+	StageSerialEWMANS   float64 `json:"stage_serial_tail_ewma_ns"`
 }
 
 func (s *Server) metricsLocked() Metrics {
@@ -273,6 +291,11 @@ func (s *Server) metricsLocked() Metrics {
 	if s.stepRounds > 0 {
 		m.AllocsPerRound = s.allocBytes / uint64(s.stepRounds)
 	}
+	st := s.sys.StageTiming()
+	m.StageParallelNS = st.ParallelNS
+	m.StageSerialNS = st.SerialNS
+	m.StageParallelEWMANS = st.ParallelEWMANS
+	m.StageSerialEWMANS = st.SerialEWMANS
 	return m
 }
 

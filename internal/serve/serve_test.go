@@ -8,7 +8,9 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	vod "repro"
 )
@@ -93,6 +95,85 @@ func TestDemandStepMetrics(t *testing.T) {
 	}
 	if m.LiveRequests == 0 {
 		t.Fatalf("three admitted viewers should hold live requests: %+v", m)
+	}
+}
+
+// TestStageTimingMetrics pins the /metrics stage-timing fields: after a
+// sharded step both halves of the round split are observable (parallel
+// dispatches and the serial merge tail) along with their EWMAs.
+func TestStageTimingMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, out := postJSON(t, ts.URL+"/step", map[string]int{"rounds": 3}); code != http.StatusOK {
+		t.Fatalf("step: %d %v", code, out)
+	}
+	var m Metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.StageParallelNS <= 0 || m.StageSerialNS <= 0 {
+		t.Fatalf("sharded stage split not observed: %+v", m)
+	}
+	if m.StageParallelEWMANS <= 0 || m.StageSerialEWMANS <= 0 {
+		t.Fatalf("stage EWMAs not observed: %+v", m)
+	}
+
+	// The serial engine reports zeros — the fields mean "sharded split".
+	serialSys, err := vod.New(vod.Spec{Boxes: 30, Upload: 2.0, Resilient: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialSrv := httptest.NewServer(New(serialSys, false).Handler())
+	defer serialSrv.Close()
+	if code, out := postJSON(t, serialSrv.URL+"/step", map[string]int{"rounds": 3}); code != http.StatusOK {
+		t.Fatalf("serial step: %d %v", code, out)
+	}
+	var ms Metrics
+	getJSON(t, serialSrv.URL+"/metrics", &ms)
+	if ms.StageParallelNS != 0 || ms.StageSerialNS != 0 {
+		t.Fatalf("serial engine reported a stage split: %+v", ms)
+	}
+}
+
+// TestServerCloseReleasesWorkers pins the daemon half of the pool
+// lifecycle: serving traffic spawns no per-round goroutines, and closing
+// the server after handler shutdown returns the process to its goroutine
+// baseline (vodserve calls exactly this sequence on SIGTERM).
+func TestServerCloseReleasesWorkers(t *testing.T) {
+	// Warm: a full build+serve+close cycle creates the runtime's lazy
+	// helper goroutines so the measured baseline is stable.
+	{
+		srv, ts := newTestServer(t)
+		postJSON(t, ts.URL+"/step", map[string]int{"rounds": 1})
+		ts.Close()
+		srv.Close()
+	}
+	waitGoroutines(t, runtime.NumGoroutine())
+
+	base := runtime.NumGoroutine()
+	srv, ts := newTestServer(t)
+	for i := 0; i < 10; i++ {
+		postJSON(t, ts.URL+"/demand", map[string]int{"box": i, "video": 0})
+		postJSON(t, ts.URL+"/step", nil)
+	}
+	ts.Close() // handler shutdown first, then the engine
+	srv.Close()
+	waitGoroutines(t, base)
+
+	// A step through a closed server surfaces the engine error.
+	if _, err := srv.StepRounds(1); err == nil {
+		t.Fatal("StepRounds after Close should error")
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to base —
+// httptest connections and pool workers park asynchronously.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines still live (baseline %d)", runtime.NumGoroutine(), base)
+		}
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -244,6 +244,20 @@ func (s *System) Step(gen Generator) (StepResult, error) { return s.inner.Step(g
 // the spec was Resilient) and returns the aggregate report.
 func (s *System) Run(gen Generator, rounds int) (Report, error) { return s.inner.Run(gen, rounds) }
 
+// Close releases the sharded engine's persistent shard workers (a no-op
+// for serial systems). Idempotent; Step after Close returns an error.
+// Systems dropped without Close are reclaimed by a runtime cleanup, but
+// long-lived processes should Close explicitly.
+func (s *System) Close() { s.inner.Close() }
+
+// StageTiming is the sharded engine's per-round wall-clock split between
+// the pooled parallel dispatches and the serial merge tail (zeros on the
+// serial engine).
+type StageTiming = core.StageTiming
+
+// StageTiming reports the last round's parallel/serial split plus EWMAs.
+func (s *System) StageTiming() StageTiming { return s.inner.StageTiming() }
+
 // Failed reports whether the system hit a fail-stop obstruction.
 func (s *System) Failed() bool { return s.inner.Failed() }
 
